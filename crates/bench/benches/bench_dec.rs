@@ -1,0 +1,54 @@
+//! Criterion benches for the self-training math: Student-t soft
+//! assignment (Eq. 9), target distribution (Eq. 10), and the fused DEC KL
+//! loss forward+backward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use traj_nn::init::Init;
+use traj_nn::{student_t_assignment, target_distribution, ParamStore, Tape};
+
+fn fixtures(n: usize, k: usize, d: usize) -> (traj_nn::Tensor, traj_nn::Tensor) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let v = Init::Normal(1.0).tensor(n, d, &mut rng);
+    let c = Init::Normal(1.0).tensor(k, d, &mut rng);
+    (v, c)
+}
+
+fn bench_soft_assignment(c: &mut Criterion) {
+    let (v, cent) = fixtures(1000, 7, 48);
+    c.bench_function("student_t_q_n1000_k7_d48", |b| {
+        b.iter(|| student_t_assignment(black_box(&v), black_box(&cent)))
+    });
+}
+
+fn bench_target(c: &mut Criterion) {
+    let (v, cent) = fixtures(1000, 7, 48);
+    let q = student_t_assignment(&v, &cent);
+    c.bench_function("target_p_n1000_k7", |b| {
+        b.iter(|| target_distribution(black_box(&q)))
+    });
+}
+
+fn bench_dec_kl_backward(c: &mut Criterion) {
+    let (v, cent) = fixtures(256, 7, 48);
+    let q = student_t_assignment(&v, &cent);
+    let p = target_distribution(&q);
+    c.bench_function("dec_kl_fwd_bwd_n256_k7_d48", |b| {
+        b.iter(|| {
+            let mut store = ParamStore::new();
+            let vid = store.add("v", v.clone());
+            let cid = store.add("c", cent.clone());
+            let mut tape = Tape::new();
+            let vv = tape.param(&store, vid);
+            let cv = tape.param(&store, cid);
+            let loss = tape.dec_kl(vv, cv, p.clone());
+            tape.backward(loss, &mut store);
+            black_box(store.grad_global_norm())
+        })
+    });
+}
+
+criterion_group!(benches, bench_soft_assignment, bench_target, bench_dec_kl_backward);
+criterion_main!(benches);

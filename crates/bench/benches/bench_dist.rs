@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the classical distance kernels — the
+//! per-pair costs that make Fig. 3's O(n²) baselines explode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use traj_data::{SynthSpec, Trajectory};
+use traj_dist::{DistanceMatrix, Metric};
+
+fn sample_trajectories(n: usize, seed: u64) -> Vec<Trajectory> {
+    let mut spec = SynthSpec::hangzhou_like(n, seed);
+    spec.outlier_fraction = 0.0;
+    spec.generate().dataset.trajectories
+}
+
+fn bench_pair_kernels(c: &mut Criterion) {
+    let ts = sample_trajectories(8, 1);
+    let (a, b) = (&ts[0], &ts[1]);
+    let mut group = c.benchmark_group("pair_kernels");
+    group.bench_function("dtw", |bch| bch.iter(|| traj_dist::dtw::dtw(black_box(a), black_box(b))));
+    group.bench_function("edr", |bch| {
+        bch.iter(|| traj_dist::edr::edr(black_box(a), black_box(b), 200.0))
+    });
+    group.bench_function("lcss", |bch| {
+        bch.iter(|| traj_dist::lcss::lcss_distance(black_box(a), black_box(b), 200.0))
+    });
+    group.bench_function("hausdorff", |bch| {
+        bch.iter(|| traj_dist::hausdorff::hausdorff(black_box(a), black_box(b)))
+    });
+    group.finish();
+}
+
+fn bench_matrix_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_matrix");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let ts = sample_trajectories(n, 2);
+        group.bench_with_input(BenchmarkId::new("dtw_matrix", n), &ts, |bch, ts| {
+            bch.iter(|| DistanceMatrix::compute(black_box(ts), &Metric::Dtw))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_kernels, bench_matrix_scaling);
+criterion_main!(benches);

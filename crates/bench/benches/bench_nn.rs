@@ -1,0 +1,66 @@
+//! Criterion benches for the neural substrate: GRU forward/backward and
+//! the decoder's dominant vocabulary projection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use traj_nn::layers::{Gru, Linear};
+use traj_nn::{ParamStore, Tape, Tensor};
+
+fn bench_gru_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let gru = Gru::new(&mut store, "gru", 32, 48, 2, &mut rng);
+    let x = Tensor::full(32, 32, 0.3);
+    c.bench_function("gru_step_b32_h48_l2", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let mut state = gru.zero_state(&mut tape, 32);
+            black_box(gru.step(&mut tape, &store, xv, &mut state, false, &mut rng))
+        })
+    });
+}
+
+fn bench_gru_bptt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let gru = Gru::new(&mut store, "gru", 32, 48, 2, &mut rng);
+    let x = Tensor::full(32, 32, 0.3);
+    let mut group = c.benchmark_group("gru_bptt");
+    group.sample_size(20);
+    group.bench_function("seq24_b32_h48_l2", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut state = gru.zero_state(&mut tape, 32);
+            let mut last = None;
+            for _ in 0..24 {
+                let xv = tape.constant(x.clone());
+                last = Some(gru.step(&mut tape, &store, xv, &mut state, false, &mut rng));
+            }
+            let h = last.expect("steps ran");
+            let loss = tape.mean_all(h);
+            tape.backward(loss, &mut store);
+            store.zero_grads();
+        })
+    });
+    group.finish();
+}
+
+fn bench_vocab_projection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let proj = Linear::new(&mut store, "proj", 48, 800, true, &mut rng);
+    let h = Tensor::full(32, 48, 0.2);
+    c.bench_function("decoder_projection_b32_h48_v800", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let hv = tape.constant(h.clone());
+            black_box(proj.forward(&mut tape, &store, hv))
+        })
+    });
+}
+
+criterion_group!(benches, bench_gru_forward, bench_gru_bptt, bench_vocab_projection);
+criterion_main!(benches);

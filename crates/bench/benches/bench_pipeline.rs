@@ -1,0 +1,55 @@
+//! Criterion benches for pipeline-level stages: dataset generation,
+//! ground-truth labelling (Algorithm 2), tokenization + skip-gram, and
+//! embedding inference with a trained encoder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e2dtc::{E2dtc, E2dtcConfig};
+use std::hint::black_box;
+use traj_data::ground_truth::generate_ground_truth;
+use traj_data::{GroundTruthConfig, SynthSpec};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    group.bench_function("hangzhou_like_500", |b| {
+        b.iter(|| black_box(SynthSpec::hangzhou_like(500, 7).generate()))
+    });
+    group.finish();
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let city = SynthSpec::hangzhou_like(500, 7).generate();
+    let mut group = c.benchmark_group("algorithm2");
+    group.sample_size(10);
+    group.bench_function("label_500", |b| {
+        b.iter(|| {
+            black_box(generate_ground_truth(
+                &city.dataset,
+                &city.pois,
+                GroundTruthConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_embedding_inference(c: &mut Criterion) {
+    // Train a tiny model once; the bench measures the serve path the
+    // paper's Fig. 3 cares about (embed + assign on new data).
+    let city = SynthSpec::hangzhou_like(200, 7).generate();
+    let (data, _) =
+        generate_ground_truth(&city.dataset, &city.pois, GroundTruthConfig::default());
+    let mut model = E2dtc::new(&data.dataset, E2dtcConfig::tiny(data.num_clusters));
+    let _ = model.fit(&data.dataset);
+    let fresh = SynthSpec::hangzhou_like(200, 99).generate();
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    group.bench_function("embed_assign_200", |b| {
+        b.iter(|| black_box(model.assign(&fresh.dataset)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_ground_truth, bench_embedding_inference);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Runs every table and figure of the paper in sequence by invoking the
+//! sibling experiment binaries (they must have been built into the same
+//! target directory, which `cargo run -p e2dtc-bench --bin all_experiments
+//! --release` guarantees). All artifacts land in `experiments_out/`.
+//!
+//! Usage: `all_experiments [--scale paper] [--seed <s>]` — extra arguments
+//! are forwarded verbatim to each experiment.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 8] =
+    ["table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "ablations"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf();
+
+    // fig7 also prints Table V, so it runs last and is part of the set.
+    let all: Vec<&str> = EXPERIMENTS.iter().copied().chain(["fig7"]).collect();
+    let total = all.len();
+    for (i, name) in all.iter().enumerate() {
+        let path = exe_dir.join(name);
+        println!("\n=== [{}/{}] {} ===", i + 1, total, name);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("experiment {name} exited with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!("\nall experiments complete; artifacts in experiments_out/");
+}

@@ -1,0 +1,155 @@
+//! **Figure 4** — visualization of embedding spaces via t-SNE on a
+//! 1000-sample Hangzhou-like subset.
+//!
+//! Panels (a)–(d): classic similarity spaces (DTW, Hausdorff, EDR, LCSS),
+//! embedded from their pairwise distance matrices. Panels (e)–(h): deep
+//! representation spaces (t2vec, `L0`, `L1`, full `L2`). The paper's
+//! claim: the full-loss E²DTC space has the most separated, tightest
+//! clusters. Since this harness cannot render scatter plots, each panel is
+//! quantified by (i) the silhouette coefficient of the ground-truth
+//! labels in the 2-D t-SNE embedding and (ii) the mean inter- vs
+//! intra-cluster centroid-distance ratio; the raw 2-D coordinates are
+//! dumped to JSON for external plotting.
+//!
+//! Usage: `fig4 [--scale paper] [--n <samples>] [--seed <s>]`
+
+use e2dtc::{E2dtc, E2dtcConfig, LossMode};
+use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::report::{dump_json, dump_text, parse_args, Table};
+use serde::Serialize;
+use traj_cluster::silhouette;
+use traj_dist::{DistanceMatrix, Metric};
+use traj_tsne::{tsne, tsne_from_distances, TsneConfig, TsneResult};
+
+#[derive(Serialize)]
+struct Panel {
+    name: String,
+    silhouette_2d: f64,
+    separation_ratio: f64,
+    coords: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let (paper, n_override, seed) = parse_args();
+    // The paper uses a random subset of 1000 samples.
+    let n = n_override.unwrap_or(if paper { 1000 } else { 300 });
+    let data = labelled_dataset(DatasetKind::Hangzhou, n * 2, seed);
+    // Take the first n labelled trajectories as the visualization subset.
+    let take = n.min(data.len());
+    let subset = traj_data::LabeledDataset {
+        dataset: traj_data::Dataset::new(
+            "fig4-subset",
+            data.dataset.trajectories[..take].to_vec(),
+        ),
+        labels: data.labels[..take].to_vec(),
+        num_clusters: data.num_clusters,
+    };
+    let labels = &subset.labels;
+    eprintln!("[fig4] {} samples, k = {}", subset.len(), subset.num_clusters);
+
+    let tsne_cfg = TsneConfig { iterations: 300, perplexity: 25.0, seed, ..Default::default() };
+    let mut panels: Vec<Panel> = Vec::new();
+
+    // (a)–(d): classic similarity spaces.
+    for metric in [
+        Metric::Dtw,
+        Metric::Hausdorff,
+        Metric::Edr { eps_m: 200.0 },
+        Metric::Lcss { eps_m: 200.0 },
+    ] {
+        eprintln!("[fig4] t-SNE over {} distances", metric.name());
+        let matrix = DistanceMatrix::compute(&subset.dataset.trajectories, &metric);
+        let res = tsne_from_distances(matrix.data(), subset.len(), &tsne_cfg);
+        panels.push(panel(metric.name(), &res, labels));
+    }
+
+    // (e)–(h): deep representation spaces.
+    let base = if paper {
+        E2dtcConfig::paper(subset.num_clusters)
+    } else {
+        E2dtcConfig::fast(subset.num_clusters)
+    }
+    .with_seed(seed);
+    let deep_variants: [(&str, LossMode, u64); 4] = [
+        ("t2vec", LossMode::L0, 11),
+        ("L0", LossMode::L0, 0),
+        ("L1", LossMode::L1, 0),
+        ("L2 (full E2DTC)", LossMode::L2, 0),
+    ];
+    for (name, mode, seed_off) in deep_variants {
+        eprintln!("[fig4] training {name}");
+        let cfg = base.clone().with_loss_mode(mode).with_seed(seed + seed_off);
+        let mut model = E2dtc::new(&subset.dataset, cfg);
+        let fit = model.fit(&subset.dataset);
+        let res = tsne(&fit.embeddings, subset.len(), fit.embed_dim, &tsne_cfg);
+        panels.push(panel(name, &res, labels));
+    }
+
+    let mut table = Table::new(&["Panel", "silhouette (2-D)", "inter/intra ratio"]);
+    for p in &panels {
+        table.row(vec![
+            p.name.clone(),
+            format!("{:.3}", p.silhouette_2d),
+            format!("{:.2}", p.separation_ratio),
+        ]);
+    }
+    println!("\nFigure 4 — embedding-space separation (higher = clearer clusters)\n");
+    table.print();
+    dump_json("fig4", &panels).expect("write json");
+    dump_text("fig4", &table.render()).expect("write text");
+    println!("\nartifacts: experiments_out/fig4.{{json,txt}} (JSON holds the 2-D coordinates)");
+}
+
+fn panel(name: &str, res: &TsneResult, labels: &[usize]) -> Panel {
+    let n = labels.len();
+    let flat: Vec<f32> = res.coords.iter().map(|&x| x as f32).collect();
+    let sil = silhouette(&flat, n, 2, labels);
+    Panel {
+        name: name.to_string(),
+        silhouette_2d: sil,
+        separation_ratio: separation_ratio(&res.coords, labels),
+        coords: (0..n).map(|i| res.point(i)).collect(),
+    }
+}
+
+/// Mean distance between different-cluster centroids divided by mean
+/// point-to-own-centroid distance in the 2-D embedding.
+fn separation_ratio(coords: &[f64], labels: &[usize]) -> f64 {
+    let n = labels.len();
+    let k = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut cx = vec![0.0; k];
+    let mut cy = vec![0.0; k];
+    let mut count = vec![0usize; k];
+    for i in 0..n {
+        cx[labels[i]] += coords[2 * i];
+        cy[labels[i]] += coords[2 * i + 1];
+        count[labels[i]] += 1;
+    }
+    for j in 0..k {
+        if count[j] > 0 {
+            cx[j] /= count[j] as f64;
+            cy[j] /= count[j] as f64;
+        }
+    }
+    let mut intra = 0.0;
+    for i in 0..n {
+        let j = labels[i];
+        intra += ((coords[2 * i] - cx[j]).powi(2) + (coords[2 * i + 1] - cy[j]).powi(2)).sqrt();
+    }
+    intra /= n as f64;
+    let mut inter = 0.0;
+    let mut pairs = 0;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            if count[a] > 0 && count[b] > 0 {
+                inter += ((cx[a] - cx[b]).powi(2) + (cy[a] - cy[b]).powi(2)).sqrt();
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 || intra == 0.0 {
+        0.0
+    } else {
+        (inter / pairs as f64) / intra
+    }
+}

@@ -1,0 +1,96 @@
+//! **Figure 5** — the cluster-oriented representation learning process:
+//! snapshots of the embedding space across self-training epochs plus the
+//! accuracy-vs-epoch curve (the paper observes accuracy "increases rapidly
+//! in the beginning, and stays stable after Epoch 4").
+//!
+//! Per epoch we report UACC and the silhouette of ground-truth labels in
+//! the *embedding* space; t-SNE 2-D snapshots of the first, middle, and
+//! final epochs go into the JSON artifact.
+//!
+//! Usage: `fig5 [--scale paper] [--n <trajectories>] [--seed <s>]`
+
+use e2dtc::{E2dtc, E2dtcConfig};
+use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::report::{dump_json, dump_text, parse_args, Table};
+use serde::Serialize;
+use traj_cluster::{silhouette, uacc};
+use traj_tsne::{tsne, TsneConfig};
+
+#[derive(Serialize)]
+struct EpochPoint {
+    epoch: usize,
+    uacc: f64,
+    silhouette: f64,
+}
+
+#[derive(Serialize)]
+struct Fig5Out {
+    curve: Vec<EpochPoint>,
+    snapshots: Vec<(usize, Vec<(f64, f64)>)>,
+    labels: Vec<usize>,
+}
+
+fn main() {
+    let (paper, n_override, seed) = parse_args();
+    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
+    let data = labelled_dataset(DatasetKind::Hangzhou, n, seed);
+    eprintln!("[fig5] {} labelled, k = {}", data.len(), data.num_clusters);
+
+    let mut cfg = if paper {
+        E2dtcConfig::paper(data.num_clusters)
+    } else {
+        E2dtcConfig::fast(data.num_clusters)
+    }
+    .with_seed(seed);
+    // Let the learning process run its full course for the figure
+    // (disable the δ early stop so every epoch is recorded).
+    cfg.delta = 0.0;
+    cfg.selftrain_epochs = if paper { 20 } else { 10 };
+
+    let mut model = E2dtc::new(&data.dataset, cfg);
+    let labels = data.labels.clone();
+    let dim = model.repr_dim();
+    let mut curve: Vec<EpochPoint> = Vec::new();
+    let mut embeddings_per_epoch: Vec<Vec<f32>> = Vec::new();
+    let _ = model.fit_with_callback(&data.dataset, &mut |epoch, emb, asg| {
+        curve.push(EpochPoint {
+            epoch,
+            uacc: uacc(asg, &labels),
+            silhouette: silhouette(emb, labels.len(), dim, &labels),
+        });
+        embeddings_per_epoch.push(emb.to_vec());
+    });
+
+    let mut table = Table::new(&["Epoch", "UACC", "silhouette"]);
+    for p in &curve {
+        table.row(vec![
+            p.epoch.to_string(),
+            format!("{:.3}", p.uacc),
+            format!("{:.3}", p.silhouette),
+        ]);
+    }
+    println!("\nFigure 5 — learning process of the cluster-oriented representation\n");
+    table.print();
+
+    // t-SNE snapshots of first / middle / last epochs.
+    let tsne_cfg = TsneConfig { iterations: 250, perplexity: 25.0, seed, ..Default::default() };
+    let picks: Vec<usize> = {
+        let last = embeddings_per_epoch.len().saturating_sub(1);
+        let mut v = vec![0, last / 2, last];
+        v.dedup();
+        v
+    };
+    let snapshots = picks
+        .iter()
+        .map(|&e| {
+            eprintln!("[fig5] t-SNE snapshot of epoch {e}");
+            let res = tsne(&embeddings_per_epoch[e], labels.len(), dim, &tsne_cfg);
+            (e, (0..labels.len()).map(|i| res.point(i)).collect())
+        })
+        .collect();
+
+    let out = Fig5Out { curve, snapshots, labels };
+    dump_json("fig5", &out).expect("write json");
+    dump_text("fig5", &table.render()).expect("write text");
+    println!("\nartifacts: experiments_out/fig5.{{json,txt}}");
+}

@@ -1,0 +1,101 @@
+//! **Figure 6** — robustness to the choice of `k` on the Hangzhou-like
+//! dataset.
+//!
+//! (a) The elbow method: `E_k` (sum of squared distances to the nearest
+//!     centroid in the learned feature space) for `k = 2..22`; the elbow
+//!     should land at the ground-truth `k = 7`.
+//! (b) NMI under mis-specified `k ∈ [4, 9]`: E²DTC should stay high while
+//!     `DTW + KM` (the best classic under NMI) stays below it everywhere.
+//!
+//! Usage: `fig6 [--scale paper] [--n <trajectories>] [--seed <s>]`
+
+use e2dtc::{E2dtc, E2dtcConfig, LossMode};
+use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::report::{dump_json, dump_text, parse_args, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use traj_cluster::elbow::{detect_elbow, elbow_curve};
+use traj_cluster::{kmedoids_alternating, nmi, KMedoidsConfig};
+use traj_dist::{DistanceMatrix, Metric};
+
+#[derive(Serialize)]
+struct Fig6Out {
+    elbow: Vec<(usize, f64)>,
+    detected_k: Option<usize>,
+    nmi_vs_k: Vec<(usize, f64, f64)>, // (k, e2dtc, dtw+km)
+}
+
+fn main() {
+    let (paper, n_override, seed) = parse_args();
+    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
+    let data = labelled_dataset(DatasetKind::Hangzhou, n, seed);
+    eprintln!("[fig6] {} labelled, true k = {}", data.len(), data.num_clusters);
+    let base = if paper {
+        E2dtcConfig::paper(data.num_clusters)
+    } else {
+        E2dtcConfig::fast(data.num_clusters)
+    }
+    .with_seed(seed);
+
+    // (a) Elbow over the pre-trained feature space.
+    eprintln!("[fig6] pre-training the embedding for the elbow analysis");
+    let mut embed_model =
+        E2dtc::new(&data.dataset, base.clone().with_loss_mode(LossMode::L0));
+    let _ = embed_model.pretrain(&data.dataset, base.pretrain_epochs);
+    let emb = embed_model.embed_dataset(&data.dataset);
+    let curve = elbow_curve(emb.data(), data.len(), embed_model.repr_dim(), 2..=22, 4, seed);
+    let detected = detect_elbow(&curve);
+    let mut table_a = Table::new(&["k", "E_k"]);
+    for p in &curve {
+        table_a.row(vec![p.k.to_string(), format!("{:.1}", p.inertia)]);
+    }
+    println!("\nFigure 6(a) — elbow curve (detected elbow: {detected:?}, ground truth 7)\n");
+    table_a.print();
+
+    // (b) NMI vs mis-specified k.
+    let matrix = DistanceMatrix::compute(&data.dataset.trajectories, &Metric::Dtw);
+    let mut nmi_rows = Vec::new();
+    let mut table_b = Table::new(&["k", "E2DTC NMI", "DTW + KM NMI"]);
+    for k in 4..=9 {
+        eprintln!("[fig6] k = {k}");
+        let mut cfg = base.clone();
+        cfg.k_clusters = k;
+        let mut model = E2dtc::new(&data.dataset, cfg);
+        let fit = model.fit(&data.dataset);
+        let deep_nmi = nmi(&fit.assignments, &data.labels);
+
+        // Best-of-3 restarts for the classic, like the harness elsewhere.
+        let classic_nmi = (0..3)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (k as u64) << 4 ^ r);
+                let res = kmedoids_alternating(
+                    matrix.data(),
+                    data.len(),
+                    KMedoidsConfig::new(k),
+                    &mut rng,
+                );
+                nmi(&res.assignment, &data.labels)
+            })
+            .sum::<f64>()
+            / 3.0;
+        table_b.row(vec![
+            k.to_string(),
+            format!("{deep_nmi:.3}"),
+            format!("{classic_nmi:.3}"),
+        ]);
+        nmi_rows.push((k, deep_nmi, classic_nmi));
+    }
+    println!("\nFigure 6(b) — NMI vs k (E2DTC should dominate at every k)\n");
+    table_b.print();
+
+    let out = Fig6Out {
+        elbow: curve.iter().map(|p| (p.k, p.inertia)).collect(),
+        detected_k: detected,
+        nmi_vs_k: nmi_rows,
+    };
+    dump_json("fig6", &out).expect("write json");
+    dump_text("fig6", &format!("{}\n{}", table_a.render(), table_b.render()))
+        .expect("write text");
+    println!("\nartifacts: experiments_out/fig6.{{json,txt}}");
+}

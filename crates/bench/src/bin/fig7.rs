@@ -1,0 +1,120 @@
+//! **Figure 7 + Table V** — robustness to the data distribution:
+//! balanced vs. imbalanced Hangzhou-like subsets (Table V documents the
+//! subsets; Fig. 7 shows UACC and NMI per method on each). The paper's
+//! claim: E²DTC stays stable while the classic methods drop sharply on
+//! imbalanced data.
+//!
+//! Usage: `fig7 [--scale paper] [--n <trajectories>] [--seed <s>]`
+
+use e2dtc::E2dtcConfig;
+use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::methods::{run_e2dtc, run_kmedoids, run_kmedoids_tuned, run_t2vec};
+use e2dtc_bench::report::{dump_json, dump_text, fmt3, parse_args, Table};
+use serde::Serialize;
+use traj_data::stats::DistributionStats;
+use traj_data::synth::{balanced_subset, imbalanced_subset};
+use traj_data::LabeledDataset;
+use traj_dist::Metric;
+
+#[derive(Serialize)]
+struct Row {
+    subset: String,
+    method: String,
+    uacc: f64,
+    nmi: f64,
+}
+
+fn main() {
+    let (paper, n_override, seed) = parse_args();
+    let n = n_override.unwrap_or(if paper { 80_000 } else { 900 });
+    // Generate a strongly imbalanced source so the imbalanced subset has
+    // its ≈7× skew available, then subset per Table V.
+    let source = {
+        let mut spec = DatasetKind::Hangzhou.spec(n, seed).imbalanced();
+        spec.name = "hangzhou-imbalanced-source".into();
+        let city = spec.generate();
+        let (labelled, _) = traj_data::generate_ground_truth(
+            &city.dataset,
+            &city.pois,
+            traj_data::GroundTruthConfig::default(),
+        );
+        labelled
+    };
+    let balanced_source = labelled_dataset(DatasetKind::Hangzhou, n, seed);
+
+    let sizes = source.cluster_sizes();
+    let min_size = *sizes.iter().filter(|&&s| s > 0).min().unwrap_or(&0);
+    let per = min_size.max(8);
+    let balanced = balanced_subset(&balanced_source, per, seed);
+    let imbalanced = imbalanced_subset(&source, per, per * 7, seed);
+
+    // Table V.
+    let mut table_v = Table::new(&["Attributes", "Balanced", "Imbalanced"]);
+    let bs = DistributionStats::of(&balanced);
+    let is = DistributionStats::of(&imbalanced);
+    table_v.row(vec![
+        "Min cluster size".into(),
+        bs.min_cluster_size.to_string(),
+        is.min_cluster_size.to_string(),
+    ]);
+    table_v.row(vec![
+        "Max cluster size".into(),
+        bs.max_cluster_size.to_string(),
+        is.max_cluster_size.to_string(),
+    ]);
+    table_v.row(vec![
+        "Ave cluster size".into(),
+        format!("{:.0}", bs.avg_cluster_size),
+        format!("{:.0}", is.avg_cluster_size),
+    ]);
+    println!("\nTable V — statics of data distribution\n");
+    table_v.print();
+
+    // Figure 7: all six methods on both subsets.
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["Subset", "Method", "UACC", "NMI"]);
+    for (label, data) in [("balanced", &balanced), ("imbalanced", &imbalanced)] {
+        eprintln!("[fig7] {label}: {} trajectories", data.len());
+        let results = run_all(data, paper, seed);
+        for r in results {
+            table.row(vec![
+                label.to_string(),
+                r.0.clone(),
+                fmt3(r.1),
+                fmt3(r.2),
+            ]);
+            rows.push(Row { subset: label.to_string(), method: r.0, uacc: r.1, nmi: r.2 });
+        }
+    }
+    println!("\nFigure 7 — robustness vs. data distribution\n");
+    table.print();
+    dump_json("fig7", &rows).expect("write json");
+    dump_text(
+        "fig7",
+        &format!("{}\n{}", table_v.render(), table.render()),
+    )
+    .expect("write text");
+    println!("\nartifacts: experiments_out/fig7.{{json,txt}}");
+}
+
+fn run_all(data: &LabeledDataset, paper: bool, seed: u64) -> Vec<(String, f64, f64)> {
+    let eps = [100.0, 200.0, 400.0];
+    let cfg = if paper {
+        E2dtcConfig::paper(data.num_clusters)
+    } else {
+        E2dtcConfig::fast(data.num_clusters)
+    }
+    .with_seed(seed);
+    let results = vec![
+        run_kmedoids_tuned(data, |e| Metric::Edr { eps_m: e }, &eps, 3),
+        run_kmedoids_tuned(data, |e| Metric::Lcss { eps_m: e }, &eps, 3),
+        run_kmedoids(data, Metric::Dtw, 3),
+        run_kmedoids(data, Metric::Hausdorff, 3),
+        run_t2vec(data, cfg.clone(), 2),
+        run_e2dtc(data, cfg, 2),
+    ];
+    results
+        .into_iter()
+        .map(|r| (r.name, r.scores.uacc, r.scores.nmi))
+        .collect()
+}

@@ -1,0 +1,95 @@
+//! Diagnostic probe (not a paper experiment): inspects each stage of the
+//! E²DTC pipeline on one dataset so training-quality regressions can be
+//! localized — skip-gram cell vectors, pre-trained encoder embeddings,
+//! and the full pipeline under varying budgets.
+
+use e2dtc::{E2dtc, E2dtcConfig, LossMode, SkipGramConfig};
+use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::report::parse_args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_cluster::{kmeans, nmi, uacc, KMeansConfig, Points};
+
+fn kmeans_scores(data: &[f32], n: usize, d: usize, k: usize, truth: &[usize]) -> (f64, f64) {
+    let mut best = (0.0, 0.0);
+    for seed in 0..3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(Points::new(data, n, d), KMeansConfig::new(k), &mut rng);
+        let u = uacc(&res.assignment, truth);
+        if u > best.0 {
+            best = (u, nmi(&res.assignment, truth));
+        }
+    }
+    best
+}
+
+fn main() {
+    let (_, n_override, seed) = parse_args();
+    let n = n_override.unwrap_or(400);
+    let data = labelled_dataset(DatasetKind::Hangzhou, n, seed);
+    let k = data.num_clusters;
+    let truth = &data.labels;
+    println!("probe: {} labelled trajectories, k = {k}", data.len());
+
+    // Stage 1: mean-pooled skip-gram cell vectors, varying skip-gram budget.
+    for (ep, win) in [(2usize, 3usize), (8, 5), (20, 5)] {
+        let mut cfg = E2dtcConfig::fast(k).with_seed(seed);
+        cfg.skipgram = SkipGramConfig { window: win, epochs: ep, ..Default::default() };
+        let model = E2dtc::new(&data.dataset, cfg.clone());
+        let grid = model.grid().clone();
+        let vocab = model.vocab();
+        let dim = cfg.embed_dim;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seqs: Vec<Vec<usize>> = data
+            .dataset
+            .trajectories
+            .iter()
+            .map(|t| vocab.encode_trajectory(&grid, t, cfg.max_seq_len))
+            .collect();
+        let table = e2dtc::cell_embedding::train_cell_embeddings(
+            &seqs,
+            vocab.size(),
+            dim,
+            &cfg.skipgram,
+            &mut rng,
+        );
+        let mut pooled = vec![0.0f32; data.len() * dim];
+        for (i, s) in seqs.iter().enumerate() {
+            for &tok in s {
+                for j in 0..dim {
+                    pooled[i * dim + j] += table.get(tok, j) / s.len() as f32;
+                }
+            }
+        }
+        let (u, m) = kmeans_scores(&pooled, data.len(), dim, k, truth);
+        println!("stage1 skipgram ep={ep:<2} win={win}:  UACC {u:.3}  NMI {m:.3}");
+    }
+
+    // Stage 2: encoder embeddings vs pretrain budget (good skip-gram).
+    let mut base = E2dtcConfig::fast(k).with_seed(seed);
+    base.skipgram = SkipGramConfig { window: 5, epochs: 8, ..Default::default() };
+    let mut m2 = E2dtc::new(&data.dataset, base.clone());
+    let mut done = 0usize;
+    for target in [6usize, 12, 20, 30] {
+        let _ = m2.pretrain(&data.dataset, target - done);
+        done = target;
+        let emb = m2.embed_dataset(&data.dataset);
+        let (u, mm) = kmeans_scores(emb.data(), data.len(), m2.repr_dim(), k, truth);
+        println!("stage2 pretrain {target:>2} epochs:    UACC {u:.3}  NMI {mm:.3}");
+    }
+
+    // Stage 3: full pipeline with decent budgets, L1 and L2.
+    for mode in [LossMode::L1, LossMode::L2] {
+        let mut cfg3 = base.clone().with_loss_mode(mode);
+        cfg3.pretrain_epochs = 20;
+        cfg3.selftrain_epochs = 10;
+        let mut m3 = E2dtc::new(&data.dataset, cfg3);
+        let fit = m3.fit(&data.dataset);
+        println!(
+            "stage3 full ({})):          UACC {:.3}  NMI {:.3}",
+            mode.name(),
+            uacc(&fit.assignments, truth),
+            nmi(&fit.assignments, truth)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! **Table III** — clustering performance (UACC, NMI, RI) of all six
+//! methods on the three datasets.
+//!
+//! Paper's qualitative claims this run should reproduce:
+//! 1. classic K-Medoids ranks flip across datasets (no metric dominates);
+//! 2. both deep methods beat every classic method;
+//! 3. E²DTC beats t2vec + k-means everywhere.
+//!
+//! Usage: `table3 [--scale paper] [--n <trajectories>] [--seed <s>]`
+
+use e2dtc::E2dtcConfig;
+use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::methods::{run_e2dtc, run_kmedoids, run_kmedoids_tuned, run_t2vec};
+use e2dtc_bench::report::{dump_json, dump_text, fmt3, parse_args, Table};
+use serde::Serialize;
+use traj_dist::Metric;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    method: String,
+    uacc: f64,
+    nmi: f64,
+    ri: f64,
+    seconds: f64,
+}
+
+fn main() {
+    let (paper, n_override, seed) = parse_args();
+    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
+    let eps_candidates = [100.0, 200.0, 400.0];
+    // The paper repeats every method 20× and averages; we use a smaller
+    // CPU-friendly repeat count (classic clustering is cheap to repeat,
+    // deep training less so).
+    let repeats = 5;
+    let deep_repeats = 3;
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(&[
+        "Dataset", "Method", "UACC", "NMI", "RI", "time (s)",
+    ]);
+
+    for kind in DatasetKind::ALL {
+        let data = labelled_dataset(kind, n, seed);
+        eprintln!(
+            "[table3] {} : {} labelled trajectories, k = {}",
+            kind.name(),
+            data.len(),
+            data.num_clusters
+        );
+        let cfg = if paper {
+            E2dtcConfig::paper(data.num_clusters)
+        } else {
+            E2dtcConfig::fast(data.num_clusters)
+        }
+        .with_seed(seed);
+
+        let mut results = vec![
+            run_kmedoids_tuned(&data, |eps| Metric::Edr { eps_m: eps }, &eps_candidates, repeats),
+            run_kmedoids_tuned(&data, |eps| Metric::Lcss { eps_m: eps }, &eps_candidates, repeats),
+            run_kmedoids(&data, Metric::Dtw, repeats),
+            run_kmedoids(&data, Metric::Hausdorff, repeats),
+            run_t2vec(&data, cfg.clone(), deep_repeats),
+            run_e2dtc(&data, cfg, deep_repeats),
+        ];
+        for r in results.drain(..) {
+            table.row(vec![
+                kind.name().to_string(),
+                r.name.clone(),
+                fmt3(r.scores.uacc),
+                fmt3(r.scores.nmi),
+                fmt3(r.scores.ri),
+                format!("{:.2}", r.seconds),
+            ]);
+            rows.push(Row {
+                dataset: kind.name().to_string(),
+                method: r.name,
+                uacc: r.scores.uacc,
+                nmi: r.scores.nmi,
+                ri: r.scores.ri,
+                seconds: r.seconds,
+            });
+        }
+    }
+
+    println!("\nTable III — clustering performance of all approaches (n = {n})\n");
+    table.print();
+    let text = table.render();
+    dump_json("table3", &rows).expect("write json");
+    dump_text("table3", &text).expect("write text");
+    println!("\nartifacts: experiments_out/table3.{{json,txt}}");
+}

@@ -1,0 +1,63 @@
+//! **Table IV** — loss-function ablation: `L0` (reconstruction only,
+//! k-means), `L1` (`+ β·L_c`), `L2` (`+ γ·L_t`, full E²DTC) on all three
+//! datasets. The paper's claim: `L2 ≥ L1 > L0` on every metric.
+//!
+//! Usage: `table4 [--scale paper] [--n <trajectories>] [--seed <s>]`
+
+use e2dtc::{E2dtcConfig, LossMode};
+use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::methods::run_deep;
+use e2dtc_bench::report::{dump_json, dump_text, fmt3, parse_args, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    loss: String,
+    uacc: f64,
+    nmi: f64,
+    ri: f64,
+}
+
+fn main() {
+    let (paper, n_override, seed) = parse_args();
+    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
+    let repeats = 3;
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["Dataset", "Loss", "UACC", "NMI", "RI"]);
+    for kind in DatasetKind::ALL {
+        let data = labelled_dataset(kind, n, seed);
+        eprintln!("[table4] {} : {} labelled, k = {}", kind.name(), data.len(), data.num_clusters);
+        for mode in [LossMode::L0, LossMode::L1, LossMode::L2] {
+            let cfg = if paper {
+                E2dtcConfig::paper(data.num_clusters)
+            } else {
+                E2dtcConfig::fast(data.num_clusters)
+            }
+            .with_seed(seed)
+            .with_loss_mode(mode);
+            let r = run_deep(mode.name(), &data, cfg, repeats);
+            table.row(vec![
+                kind.name().to_string(),
+                mode.name().to_string(),
+                fmt3(r.scores.uacc),
+                fmt3(r.scores.nmi),
+                fmt3(r.scores.ri),
+            ]);
+            rows.push(Row {
+                dataset: kind.name().to_string(),
+                loss: mode.name().to_string(),
+                uacc: r.scores.uacc,
+                nmi: r.scores.nmi,
+                ri: r.scores.ri,
+            });
+        }
+    }
+
+    println!("\nTable IV — E2DTC performance vs. loss functions (n = {n})\n");
+    table.print();
+    dump_json("table4", &rows).expect("write json");
+    dump_text("table4", &table.render()).expect("write text");
+    println!("\nartifacts: experiments_out/table4.{{json,txt}}");
+}

@@ -1,0 +1,60 @@
+//! Experiment datasets: synthetic cities + Algorithm-2 ground truth.
+
+use traj_data::ground_truth::generate_ground_truth;
+use traj_data::{GroundTruthConfig, LabeledDataset, SynthSpec};
+
+/// The three evaluation datasets of the paper (Table II), emulated by the
+/// synthetic generators (see DESIGN.md for the substitution argument).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// GeoLife-like: Beijing box, 12 clusters, 5 s sampling, short trips.
+    GeoLife,
+    /// Porto-like: 15 clusters, 15 s taxi sampling, medium trips.
+    Porto,
+    /// Hangzhou-like: 7 clusters, 5 s taxi sampling, long trips.
+    Hangzhou,
+}
+
+impl DatasetKind {
+    /// All three, in the paper's column order.
+    pub const ALL: [DatasetKind; 3] =
+        [DatasetKind::GeoLife, DatasetKind::Porto, DatasetKind::Hangzhou];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::GeoLife => "GeoLife",
+            DatasetKind::Porto => "Porto",
+            DatasetKind::Hangzhou => "Hangzhou",
+        }
+    }
+
+    /// The generator spec at a given cardinality.
+    pub fn spec(self, n: usize, seed: u64) -> SynthSpec {
+        match self {
+            DatasetKind::GeoLife => SynthSpec::geolife_like(n, seed),
+            DatasetKind::Porto => SynthSpec::porto_like(n, seed),
+            DatasetKind::Hangzhou => SynthSpec::hangzhou_like(n, seed),
+        }
+    }
+
+    /// Ground-truth cluster count (Table II: 12 / 15 / 7).
+    pub fn k(self) -> usize {
+        match self {
+            DatasetKind::GeoLife => 12,
+            DatasetKind::Porto => 15,
+            DatasetKind::Hangzhou => 7,
+        }
+    }
+}
+
+/// Generates a synthetic city of `n` trajectories and labels it with
+/// Algorithm 2 under the paper's σ = 0.6, λ = 0.7. The returned dataset
+/// contains only the labelled (non-outlier) trajectories, exactly like the
+/// paper's released ground-truth datasets.
+pub fn labelled_dataset(kind: DatasetKind, n: usize, seed: u64) -> LabeledDataset {
+    let city = kind.spec(n, seed).generate();
+    let (labelled, _) =
+        generate_ground_truth(&city.dataset, &city.pois, GroundTruthConfig::default());
+    labelled
+}

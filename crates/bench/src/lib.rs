@@ -1,0 +1,15 @@
+//! # e2dtc-bench — experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! of the E²DTC paper (see DESIGN.md §4 for the experiment index):
+//! dataset construction, method runners with end-to-end timing, metric
+//! evaluation, and plain-text/JSON reporting.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod methods;
+pub mod report;
+
+pub use datasets::{labelled_dataset, DatasetKind};
+pub use methods::{run_e2dtc, run_kmedoids, run_t2vec, MethodResult, Scores};

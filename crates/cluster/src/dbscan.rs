@@ -1,0 +1,162 @@
+//! DBSCAN over a precomputed distance matrix.
+//!
+//! Density-based clustering is the other classic family the trajectory
+//! literature applies on raw distances (the paper's related work runs
+//! DBSCAN per snapshot for co-movement detection). Unlike K-Medoids it
+//! discovers the cluster count and marks outliers — useful as an
+//! extension baseline and for screening the synthetic datasets.
+
+/// Label assigned to noise points.
+pub const NOISE: usize = usize::MAX;
+
+/// DBSCAN parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DbscanConfig {
+    /// Neighborhood radius (same units as the distance matrix).
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+/// DBSCAN result.
+#[derive(Clone, Debug)]
+pub struct DbscanResult {
+    /// Cluster id per point, or [`NOISE`].
+    pub labels: Vec<usize>,
+    /// Number of clusters discovered.
+    pub num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Indices labelled as noise.
+    pub fn noise_points(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == NOISE)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs DBSCAN on a dense symmetric `n × n` distance matrix (row-major).
+///
+/// # Panics
+/// Panics if `dist.len() != n * n` or `min_pts == 0`.
+pub fn dbscan(dist: &[f64], n: usize, cfg: DbscanConfig) -> DbscanResult {
+    assert_eq!(dist.len(), n * n, "distance buffer must be n²");
+    assert!(cfg.min_pts >= 1, "min_pts must be positive");
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| dist[i * n + j] <= cfg.eps).collect()
+    };
+
+    let mut labels = vec![NOISE; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0usize;
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let seeds = neighbors(i);
+        if seeds.len() < cfg.min_pts {
+            continue; // stays noise unless later absorbed as a border point
+        }
+        labels[i] = cluster;
+        // Expand the cluster (BFS over density-reachable points).
+        let mut queue: Vec<usize> = seeds;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border or core point joins
+            }
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let j_neighbors = neighbors(j);
+            if j_neighbors.len() >= cfg.min_pts {
+                queue.extend(j_neighbors);
+            }
+        }
+        cluster += 1;
+    }
+    DbscanResult { labels, num_clusters: cluster }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix for 1-D points.
+    fn matrix(xs: &[f64]) -> (Vec<f64>, usize) {
+        let n = xs.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        (d, n)
+    }
+
+    #[test]
+    fn finds_two_dense_groups_and_noise() {
+        // Two tight groups plus one far outlier.
+        let (d, n) = matrix(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 55.0]);
+        let res = dbscan(&d, n, DbscanConfig { eps: 0.5, min_pts: 2 });
+        assert_eq!(res.num_clusters, 2);
+        assert_eq!(res.labels[0], res.labels[1]);
+        assert_eq!(res.labels[1], res.labels[2]);
+        assert_eq!(res.labels[3], res.labels[4]);
+        assert_ne!(res.labels[0], res.labels[3]);
+        assert_eq!(res.labels[6], NOISE);
+        assert_eq!(res.noise_points(), vec![6]);
+    }
+
+    #[test]
+    fn chain_connectivity_merges_into_one_cluster() {
+        // A chain of points each within eps of the next: density-reachable
+        // end to end.
+        let (d, n) = matrix(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let res = dbscan(&d, n, DbscanConfig { eps: 1.1, min_pts: 2 });
+        assert_eq!(res.num_clusters, 1);
+        assert!(res.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn all_noise_when_eps_too_small() {
+        let (d, n) = matrix(&[0.0, 5.0, 10.0]);
+        let res = dbscan(&d, n, DbscanConfig { eps: 0.1, min_pts: 2 });
+        assert_eq!(res.num_clusters, 0);
+        assert!(res.labels.iter().all(|&l| l == NOISE));
+    }
+
+    #[test]
+    fn min_pts_one_makes_every_point_a_cluster() {
+        let (d, n) = matrix(&[0.0, 5.0, 10.0]);
+        let res = dbscan(&d, n, DbscanConfig { eps: 0.1, min_pts: 1 });
+        assert_eq!(res.num_clusters, 3);
+    }
+
+    #[test]
+    fn border_point_joins_first_reaching_cluster() {
+        // Point at 2.0 is within eps of the dense left group but is not
+        // itself core (its neighborhood has only 2 members < min_pts 3).
+        let (d, n) = matrix(&[0.0, 0.5, 1.0, 2.0]);
+        let res = dbscan(&d, n, DbscanConfig { eps: 1.0, min_pts: 3 });
+        assert_eq!(res.num_clusters, 1);
+        assert_eq!(res.labels[3], 0, "border point should be absorbed");
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = dbscan(&[], 0, DbscanConfig { eps: 1.0, min_pts: 2 });
+        assert_eq!(res.num_clusters, 0);
+        assert!(res.labels.is_empty());
+    }
+}

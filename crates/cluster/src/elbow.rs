@@ -1,0 +1,127 @@
+//! Elbow-method support for choosing `k` (paper §VII-G, Fig. 6a).
+//!
+//! The paper sweeps `k` from 2 to 22, records `E_k` (the sum of distances
+//! from samples to their nearest centroid), and picks the elbow — which
+//! lands on `k = 7` for the Hangzhou dataset.
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::points::Points;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One point of the elbow curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ElbowPoint {
+    /// Number of clusters.
+    pub k: usize,
+    /// Within-cluster sum of squared distances `E_k`.
+    pub inertia: f64,
+}
+
+/// Computes `E_k` for every `k` in `k_range` (inclusive), running k-means
+/// `restarts` times per `k` and keeping the best inertia.
+pub fn elbow_curve(
+    data: &[f32],
+    n: usize,
+    d: usize,
+    k_range: std::ops::RangeInclusive<usize>,
+    restarts: usize,
+    seed: u64,
+) -> Vec<ElbowPoint> {
+    let points = Points::new(data, n, d);
+    k_range
+        .map(|k| {
+            let best = (0..restarts.max(1))
+                .map(|r| {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (k as u64) << 8 ^ r as u64);
+                    kmeans(points, KMeansConfig::new(k), &mut rng).inertia
+                })
+                .fold(f64::INFINITY, f64::min);
+            ElbowPoint { k, inertia: best }
+        })
+        .collect()
+}
+
+/// Picks the elbow as the `k` with the maximum distance from the line
+/// joining the curve's endpoints (the "kneedle" construction), which is
+/// robust to the overall scale of `E_k`.
+///
+/// Returns `None` for curves with fewer than 3 points.
+pub fn detect_elbow(curve: &[ElbowPoint]) -> Option<usize> {
+    if curve.len() < 3 {
+        return None;
+    }
+    let (x0, y0) = (curve[0].k as f64, curve[0].inertia);
+    let (x1, y1) = (
+        curve[curve.len() - 1].k as f64,
+        curve[curve.len() - 1].inertia,
+    );
+    let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+    if len == 0.0 {
+        return None;
+    }
+    curve[1..curve.len() - 1]
+        .iter()
+        .max_by(|a, b| {
+            let da = point_line_distance(a.k as f64, a.inertia, x0, y0, x1, y1, len);
+            let db = point_line_distance(b.k as f64, b.inertia, x0, y0, x1, y1, len);
+            da.total_cmp(&db)
+        })
+        .map(|p| p.k)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn point_line_distance(px: f64, py: f64, x0: f64, y0: f64, x1: f64, y1: f64, len: f64) -> f64 {
+    ((x1 - x0) * (y0 - py) - (x0 - px) * (y1 - y0)).abs() / len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// `true_k` well-separated 2-D blobs.
+    fn blobs(true_k: usize, per: usize, seed: u64) -> (Vec<f32>, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for c in 0..true_k {
+            let cx = (c % 3) as f32 * 20.0;
+            let cy = (c / 3) as f32 * 20.0;
+            for _ in 0..per {
+                data.push(cx + rng.gen::<f32>());
+                data.push(cy + rng.gen::<f32>());
+            }
+        }
+        (data, true_k * per)
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing_on_blobs() {
+        let (data, n) = blobs(4, 25, 0);
+        let curve = elbow_curve(&data, n, 2, 1..=8, 3, 42);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].inertia <= w[0].inertia + 1e-6,
+                "inertia rose from k={} to k={}",
+                w[0].k,
+                w[1].k
+            );
+        }
+    }
+
+    #[test]
+    fn elbow_lands_on_true_k() {
+        let (data, n) = blobs(4, 25, 1);
+        let curve = elbow_curve(&data, n, 2, 1..=9, 4, 7);
+        assert_eq!(detect_elbow(&curve), Some(4));
+    }
+
+    #[test]
+    fn detect_elbow_needs_three_points() {
+        let short = vec![
+            ElbowPoint { k: 1, inertia: 10.0 },
+            ElbowPoint { k: 2, inertia: 1.0 },
+        ];
+        assert_eq!(detect_elbow(&short), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Hungarian algorithm (Kuhn–Munkres) for the optimal assignment problem.
+//!
+//! The paper's UACC metric (Eq. 15) maps predicted cluster ids to
+//! ground-truth labels "by the Hungarian algorithm" (paper ref. 24). This is the
+//! O(n³) shortest-augmenting-path formulation (Jonker–Volgenant style
+//! potentials) for square cost matrices, minimizing total cost.
+
+/// Solves the square assignment problem, minimizing total cost.
+///
+/// `cost` is row-major `n × n`; returns `assignment[row] = col` and is
+/// guaranteed to be a permutation.
+///
+/// # Panics
+/// Panics when `cost.len() != n * n`.
+pub fn hungarian_min(cost: &[f64], n: usize) -> Vec<usize> {
+    assert_eq!(cost.len(), n * n, "cost buffer must be n²");
+    if n == 0 {
+        return Vec::new();
+    }
+    // Potentials and matching, 1-based with a dummy 0 column/row as in the
+    // classic e-maxx formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Maximizes total profit by negating and minimizing.
+pub fn hungarian_max(profit: &[f64], n: usize) -> Vec<usize> {
+    let neg: Vec<f64> = profit.iter().map(|&x| -x).collect();
+    hungarian_min(&neg, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(cost: &[f64], n: usize, asg: &[usize]) -> f64 {
+        asg.iter().enumerate().map(|(r, &c)| cost[r * n + c]).sum()
+    }
+
+    fn brute_force_min(cost: &[f64], n: usize) -> f64 {
+        fn rec(cost: &[f64], n: usize, row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+            if row == n {
+                *best = best.min(acc);
+                return;
+            }
+            for c in 0..n {
+                if !used[c] {
+                    used[c] = true;
+                    rec(cost, n, row + 1, used, acc + cost[row * n + c], best);
+                    used[c] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(cost, n, 0, &mut vec![false; n], 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn identity_matrix_prefers_diagonal_zeros() {
+        // Cost 0 on the diagonal, 1 elsewhere.
+        let n = 4;
+        let mut cost = vec![1.0; n * n];
+        for i in 0..n {
+            cost[i * n + i] = 0.0;
+        }
+        let asg = hungarian_min(&cost, n);
+        assert_eq!(asg, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn classic_3x3_example() {
+        // Known optimum: 1->2, 2->1, 3->0 style cross assignment.
+        let cost = vec![4.0, 1.0, 3.0, 2.0, 0.0, 5.0, 3.0, 2.0, 2.0];
+        let asg = hungarian_min(&cost, 3);
+        assert!((total(&cost, 3, &asg) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let cost = vec![
+            7.0, 3.0, 1.0, 9.0, 5.0, 2.0, 8.0, 6.0, 4.0, 4.0, 4.0, 4.0, 1.0, 2.0, 3.0, 4.0,
+        ];
+        let asg = hungarian_min(&cost, 4);
+        let mut seen = [false; 4];
+        for &c in &asg {
+            assert!(!seen[c], "column used twice");
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        for n in 1..=6 {
+            for _ in 0..10 {
+                let cost: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..10.0)).collect();
+                let asg = hungarian_min(&cost, n);
+                let got = total(&cost, n, &asg);
+                let want = brute_force_min(&cost, n);
+                assert!((got - want).abs() < 1e-9, "n = {n}: got {got}, optimum {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_variant_maximizes() {
+        let profit = vec![1.0, 9.0, 9.0, 1.0];
+        let asg = hungarian_max(&profit, 2);
+        assert_eq!(asg, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(hungarian_min(&[], 0).is_empty());
+    }
+}

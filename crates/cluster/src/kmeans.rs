@@ -1,0 +1,300 @@
+//! Lloyd's k-means with k-means++ initialization.
+//!
+//! Used twice in the paper: to seed the self-training centroids from the
+//! pre-trained embeddings (§V-C, "a standard k-means clustering algorithm
+//! is applied in the feature space Z"), and as the second stage of the
+//! `t2vec + k-means` baseline.
+
+use crate::points::{sq_dist, Points};
+use rand::Rng;
+
+/// k-means configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared).
+    pub tol: f64,
+    /// Use k-means++ seeding (vs. uniform random points).
+    pub plus_plus: bool,
+}
+
+impl KMeansConfig {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self { k, max_iters: 100, tol: 1e-8, plus_plus: true }
+    }
+
+    /// Switches to uniform random initialization (the ablation in
+    /// `bench_cluster`).
+    pub fn random_init(mut self) -> Self {
+        self.plus_plus = false;
+        self
+    }
+}
+
+/// k-means result.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Flat `(k, d)` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Cluster assignment per point.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances (the `E_k` of the
+    /// paper's elbow analysis, Fig. 6a).
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs k-means.
+///
+/// # Panics
+/// Panics when `k` is zero or exceeds the number of points.
+pub fn kmeans(points: Points<'_>, cfg: KMeansConfig, rng: &mut impl Rng) -> KMeansResult {
+    let (n, d, k) = (points.len(), points.dim(), cfg.k);
+    assert!(k >= 1, "k must be positive");
+    assert!(k <= n, "k = {k} exceeds the number of points {n}");
+
+    let mut centroids = if cfg.plus_plus {
+        init_plus_plus(points, k, rng)
+    } else {
+        init_random(points, k, rng)
+    };
+
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        // Assignment step.
+        for i in 0..n {
+            assignment[i] = nearest_centroid(points, i, &centroids, k, d).0;
+        }
+        // Update step (f64 accumulation).
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c * d..(c + 1) * d].iter_mut().zip(points.point(i)) {
+                *s += x as f64;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid (standard empty-cluster repair).
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = points.sq_dist_to(a, centroid(&centroids, assignment[a], d));
+                        let db = points.sq_dist_to(b, centroid(&centroids, assignment[b], d));
+                        da.total_cmp(&db)
+                    })
+                    .expect("non-empty point set");
+                let new: Vec<f32> = points.point(far).to_vec();
+                movement += sq_dist(centroid(&centroids, c, d), &new);
+                centroids[c * d..(c + 1) * d].copy_from_slice(&new);
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mut delta = 0.0;
+            for j in 0..d {
+                let new = (sums[c * d + j] * inv) as f32;
+                let old = centroids[c * d + j];
+                let diff = (new - old) as f64;
+                delta += diff * diff;
+                centroids[c * d + j] = new;
+            }
+            movement += delta;
+        }
+        if movement <= cfg.tol {
+            break;
+        }
+    }
+
+    // Final assignment + inertia under the converged centroids.
+    let mut inertia = 0.0;
+    for i in 0..n {
+        let (c, dist) = nearest_centroid(points, i, &centroids, k, d);
+        assignment[i] = c;
+        inertia += dist;
+    }
+    KMeansResult { centroids, assignment, inertia, iterations }
+}
+
+fn centroid(centroids: &[f32], c: usize, d: usize) -> &[f32] {
+    &centroids[c * d..(c + 1) * d]
+}
+
+fn nearest_centroid(
+    points: Points<'_>,
+    i: usize,
+    centroids: &[f32],
+    k: usize,
+    d: usize,
+) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for c in 0..k {
+        let dist = points.sq_dist_to(i, centroid(centroids, c, d));
+        if dist < best.1 {
+            best = (c, dist);
+        }
+    }
+    best
+}
+
+fn init_random(points: Points<'_>, k: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let n = points.len();
+    let d = points.dim();
+    // Sample k distinct indices (partial Fisher–Yates over an index vec).
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let pick = rng.gen_range(i..n);
+        idx.swap(i, pick);
+    }
+    let mut out = Vec::with_capacity(k * d);
+    for &i in &idx[..k] {
+        out.extend_from_slice(points.point(i));
+    }
+    out
+}
+
+fn init_plus_plus(points: Points<'_>, k: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let n = points.len();
+    let d = points.dim();
+    let mut out = Vec::with_capacity(k * d);
+    let first = rng.gen_range(0..n);
+    out.extend_from_slice(points.point(first));
+    let mut min_dist: Vec<f64> =
+        (0..n).map(|i| points.sq_dist_to(i, &out[..d])).collect();
+    for c in 1..k {
+        let total: f64 = min_dist.iter().sum();
+        let pick = if total <= 0.0 {
+            // All remaining points coincide with chosen centroids.
+            rng.gen_range(0..n)
+        } else {
+            let mut x = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &dd) in min_dist.iter().enumerate() {
+                x -= dd;
+                if x <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        out.extend_from_slice(points.point(pick));
+        let new = &out[c * d..(c + 1) * d];
+        // `new` borrows out; copy to appease the borrow checker.
+        let new: Vec<f32> = new.to_vec();
+        for i in 0..n {
+            min_dist[i] = min_dist[i].min(points.sq_dist_to(i, &new));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Three well-separated 2-D blobs.
+    fn blobs() -> (Vec<f32>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut data = Vec::new();
+        let mut truth = Vec::new();
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                data.push(cx + rng.gen::<f32>() - 0.5);
+                data.push(cy + rng.gen::<f32>() - 0.5);
+                truth.push(label);
+            }
+        }
+        (data, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = blobs();
+        let points = Points::new(&data, 90, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = kmeans(points, KMeansConfig::new(3), &mut rng);
+        // Every ground-truth blob must map to exactly one k-means cluster.
+        for blob in 0..3 {
+            let members: Vec<usize> = (0..90).filter(|&i| truth[i] == blob).collect();
+            let first = res.assignment[members[0]];
+            assert!(members.iter().all(|&i| res.assignment[i] == first));
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (data, _) = blobs();
+        let points = Points::new(&data, 90, 2);
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let mut rng = StdRng::seed_from_u64(2);
+            let res = kmeans(points, KMeansConfig::new(k), &mut rng);
+            assert!(res.inertia <= prev + 1e-6, "inertia rose at k = {k}");
+            prev = res.inertia;
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = vec![0.0f32, 0.0, 1.0, 1.0, 2.0, 2.0];
+        let points = Points::new(&data, 3, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = kmeans(points, KMeansConfig::new(3), &mut rng);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (data, _) = blobs();
+        let points = Points::new(&data, 90, 2);
+        let a = kmeans(points, KMeansConfig::new(3), &mut StdRng::seed_from_u64(7));
+        let b = kmeans(points, KMeansConfig::new(3), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn plus_plus_init_is_no_worse_than_random_on_average() {
+        let (data, _) = blobs();
+        let points = Points::new(&data, 90, 2);
+        let mean = |random: bool| -> f64 {
+            (0..10)
+                .map(|s| {
+                    let mut rng = StdRng::seed_from_u64(s);
+                    let cfg = if random {
+                        KMeansConfig::new(3).random_init()
+                    } else {
+                        KMeansConfig::new(3)
+                    };
+                    kmeans(points, cfg, &mut rng).inertia
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        let pp = mean(false);
+        let rand_init = mean(true);
+        assert!(pp.is_finite() && rand_init.is_finite());
+        assert!(pp <= rand_init + 1e-6, "k-means++ ({pp}) worse than random ({rand_init})");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of points")]
+    fn k_greater_than_n_panics() {
+        let data = vec![0.0f32, 0.0];
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = kmeans(Points::new(&data, 1, 2), KMeansConfig::new(2), &mut rng);
+    }
+}

@@ -1,0 +1,92 @@
+//! Borrowed view over a flat row-major point set.
+
+/// A borrowed `(n, d)` matrix of `f32` feature vectors.
+///
+/// The clustering algorithms in this crate operate on embeddings produced
+/// by the neural pipeline (row-major `f32`), so this view avoids copies at
+/// the crate boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct Points<'a> {
+    data: &'a [f32],
+    n: usize,
+    d: usize,
+}
+
+impl<'a> Points<'a> {
+    /// Wraps a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * d`.
+    pub fn new(data: &'a [f32], n: usize, d: usize) -> Self {
+        assert_eq!(data.len(), n * d, "buffer length must be n × d");
+        Self { data, n, d }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Point `i` as a slice.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.n);
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Squared Euclidean distance between point `i` and an arbitrary
+    /// vector.
+    #[inline]
+    pub fn sq_dist_to(&self, i: usize, other: &[f32]) -> f64 {
+        sq_dist(self.point(i), other)
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices, accumulated
+/// in `f64` for stability.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_indexes_rows() {
+        let buf = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let p = Points::new(&buf, 3, 2);
+        assert_eq!(p.point(0), &[1.0, 2.0]);
+        assert_eq!(p.point(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn sq_dist_matches_manual() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n × d")]
+    fn wrong_length_panics() {
+        let buf = [1.0, 2.0, 3.0];
+        let _ = Points::new(&buf, 2, 2);
+    }
+}

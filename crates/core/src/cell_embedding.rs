@@ -1,0 +1,188 @@
+//! Skip-gram cell embeddings (paper §V-B, Eq. 7).
+//!
+//! Before the seq2seq model trains, every grid cell gets a vector
+//! representation learned with the word2vec skip-gram objective over the
+//! token sequences: cells that co-occur within a window (i.e. are visited
+//! in close succession) get similar vectors. We use the standard
+//! negative-sampling approximation of the softmax in Eq. 7 with direct
+//! SGD — no autograd needed for this shallow model.
+
+use crate::config::SkipGramConfig;
+use crate::vocab::SPECIALS;
+use rand::Rng;
+use traj_nn::Tensor;
+
+/// Trains `(vocab_size, dim)` cell embeddings from dense token sequences.
+///
+/// Ids below [`SPECIALS`] (UNK/BOS) are skipped as contexts/targets but
+/// still receive random-initialized rows so the table is fully usable by
+/// the encoder.
+pub fn train_cell_embeddings(
+    sequences: &[Vec<usize>],
+    vocab_size: usize,
+    dim: usize,
+    cfg: &SkipGramConfig,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let mut input = random_table(vocab_size, dim, rng);
+    let mut output = random_table(vocab_size, dim, rng);
+
+    // Unigram^(3/4) negative-sampling table (word2vec convention).
+    let mut counts = vec![0usize; vocab_size];
+    for seq in sequences {
+        for &t in seq {
+            if t >= SPECIALS {
+                counts[t] += 1;
+            }
+        }
+    }
+    let neg_table = build_negative_table(&counts);
+    if neg_table.is_empty() {
+        return Tensor::from_vec(vocab_size, dim, input);
+    }
+
+    for _ in 0..cfg.epochs {
+        for seq in sequences {
+            for (pos, &center) in seq.iter().enumerate() {
+                if center < SPECIALS {
+                    continue;
+                }
+                let lo = pos.saturating_sub(cfg.window);
+                let hi = (pos + cfg.window).min(seq.len() - 1);
+                for ctx_pos in lo..=hi {
+                    let context = seq[ctx_pos];
+                    if ctx_pos == pos || context < SPECIALS {
+                        continue;
+                    }
+                    sgd_pair(&mut input, &mut output, dim, center, context, true, cfg.lr);
+                    for _ in 0..cfg.negatives {
+                        let neg = neg_table[rng.gen_range(0..neg_table.len())];
+                        if neg != context {
+                            sgd_pair(&mut input, &mut output, dim, center, neg, false, cfg.lr);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vocab_size, dim, input)
+}
+
+fn random_table(vocab: usize, dim: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let bound = 0.5 / dim as f32;
+    (0..vocab * dim).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+fn build_negative_table(counts: &[usize]) -> Vec<usize> {
+    const TABLE_SIZE: usize = 1 << 16;
+    let weights: Vec<f64> =
+        counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut table = Vec::with_capacity(TABLE_SIZE);
+    for (id, &w) in weights.iter().enumerate() {
+        let slots = ((w / total) * TABLE_SIZE as f64).round() as usize;
+        table.extend(std::iter::repeat_n(id, slots));
+    }
+    if table.is_empty() {
+        // Degenerate rounding: fall back to all ids with non-zero counts.
+        table = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, _)| i)
+            .collect();
+    }
+    table
+}
+
+/// One positive/negative SGD update of the pair `(center, other)` under
+/// the negative-sampling logistic objective.
+fn sgd_pair(
+    input: &mut [f32],
+    output: &mut [f32],
+    dim: usize,
+    center: usize,
+    other: usize,
+    positive: bool,
+    lr: f32,
+) {
+    let ci = center * dim;
+    let oi = other * dim;
+    let mut dot = 0.0f32;
+    for j in 0..dim {
+        dot += input[ci + j] * output[oi + j];
+    }
+    let pred = 1.0 / (1.0 + (-dot).exp());
+    let target = if positive { 1.0 } else { 0.0 };
+    let g = lr * (target - pred);
+    for j in 0..dim {
+        let iv = input[ci + j];
+        let ov = output[oi + j];
+        input[ci + j] += g * ov;
+        output[oi + j] += g * iv;
+    }
+}
+
+/// Euclidean distance between two embedding rows (used by the Eq. 8 cell
+/// weights).
+pub fn row_distance(table: &Tensor, a: usize, b: usize) -> f32 {
+    table.row_sq_dist(a, table, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two disjoint "neighbourhoods" of cells that co-occur internally.
+    fn sequences() -> Vec<Vec<usize>> {
+        let mut seqs = Vec::new();
+        for _ in 0..60 {
+            seqs.push(vec![2, 3, 4, 2, 3, 4, 2, 3, 4]);
+            seqs.push(vec![5, 6, 7, 5, 6, 7, 5, 6, 7]);
+        }
+        seqs
+    }
+
+    #[test]
+    fn cooccurring_cells_land_closer_than_disjoint_ones() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SkipGramConfig { window: 2, negatives: 4, epochs: 4, lr: 0.05 };
+        let table = train_cell_embeddings(&sequences(), 8, 16, &cfg, &mut rng);
+        let within = row_distance(&table, 2, 3);
+        let across = row_distance(&table, 2, 6);
+        assert!(
+            within < across,
+            "co-occurring cells ({within}) should be closer than disjoint ({across})"
+        );
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let table =
+            train_cell_embeddings(&sequences(), 8, 12, &SkipGramConfig::default(), &mut rng);
+        assert_eq!(table.shape(), (8, 12));
+        assert!(!table.has_non_finite());
+    }
+
+    #[test]
+    fn empty_input_still_yields_table() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let table =
+            train_cell_embeddings(&[], 5, 8, &SkipGramConfig::default(), &mut rng);
+        assert_eq!(table.shape(), (5, 8));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SkipGramConfig::default();
+        let a = train_cell_embeddings(&sequences(), 8, 8, &cfg, &mut StdRng::seed_from_u64(7));
+        let b = train_cell_embeddings(&sequences(), 8, 8, &cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,83 @@
+//! Self-clustering helpers (paper §V-D).
+//!
+//! The differentiable pieces — Student-t soft assignment `Q` (Eq. 9),
+//! target distribution `P` (Eq. 10), and the KL clustering loss (Eq. 11) —
+//! live in `traj-nn` (`student_t_assignment`, `target_distribution`,
+//! `Tape::dec_kl`). This module adds the non-differentiable glue
+//! Algorithm 1 needs: hard assignments and the label-change stopping
+//! criterion.
+
+pub use traj_nn::{student_t_assignment, target_distribution};
+
+use traj_nn::Tensor;
+
+/// Hard cluster assignment: argmax over each row of the soft assignment
+/// `Q`.
+pub fn hard_assignment(q: &Tensor) -> Vec<usize> {
+    (0..q.rows())
+        .map(|i| {
+            q.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(j, _)| j)
+                .expect("Q has at least one cluster column")
+        })
+        .collect()
+}
+
+/// Fraction of items whose cluster changed between two assignments
+/// (Algorithm 1, line 8: stop when `Σ 1[C'_i ≠ C_i] ≤ δ`, here expressed
+/// as a fraction of the dataset).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn label_change_fraction(old: &[usize], new: &[usize]) -> f64 {
+    assert_eq!(old.len(), new.len(), "assignments must be aligned");
+    if old.is_empty() {
+        return 0.0;
+    }
+    let changed = old.iter().zip(new).filter(|(a, b)| a != b).count();
+    changed as f64 / old.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_assignment_picks_argmax() {
+        let q = Tensor::from_rows(&[vec![0.1, 0.7, 0.2], vec![0.5, 0.3, 0.2]]);
+        assert_eq!(hard_assignment(&q), vec![1, 0]);
+    }
+
+    #[test]
+    fn label_change_counts_fraction() {
+        assert_eq!(label_change_fraction(&[0, 1, 2, 0], &[0, 1, 0, 0]), 0.25);
+        assert_eq!(label_change_fraction(&[1, 1], &[1, 1]), 0.0);
+        assert_eq!(label_change_fraction(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn q_then_p_sharpen_cycle() {
+        // End-to-end sanity of the Eq. 9 → Eq. 10 cycle: P must remain a
+        // distribution and sharpen high-confidence rows.
+        let v = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ]);
+        let c = Tensor::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]);
+        let q = student_t_assignment(&v, &c);
+        let p = target_distribution(&q);
+        for i in 0..4 {
+            let sum: f32 = p.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(hard_assignment(&q), vec![0, 0, 1, 1]);
+        assert_eq!(hard_assignment(&p), vec![0, 0, 1, 1]);
+        // Sharper than Q on the confident rows.
+        assert!(p.get(0, 0) >= q.get(0, 0));
+    }
+}

@@ -1,0 +1,724 @@
+//! The E²DTC model and training pipeline (paper §V, Algorithm 1).
+//!
+//! Phases, exactly as Fig. 2 lays them out:
+//!
+//! 1. **Trajectory embedding** (construction): grid discretization,
+//!    compact vocabulary, skip-gram cell vectors.
+//! 2. **Pre-training** ([`E2dtc::pretrain`]): corrupt-and-reconstruct
+//!    training of the seq2seq model under the spatial loss `L_r` (Eq. 8),
+//!    then k-means in the feature space to seed the cluster centroids.
+//! 3. **Self-training**: joint optimization of
+//!    `L_r + β·L_c + γ·L_t` (Eq. 14), with the target distribution `P`
+//!    recomputed each epoch and training stopped once cluster assignments
+//!    change by at most `δ`.
+//!
+//! [`E2dtc::fit`] runs all three and returns assignments, embeddings, and
+//! the per-epoch history.
+
+use crate::cell_embedding::train_cell_embeddings;
+use crate::config::{E2dtcConfig, LossMode};
+use crate::dec::{hard_assignment, label_change_fraction};
+use crate::seq2seq::Seq2Seq;
+use crate::spatial_loss::WeightTable;
+use crate::vocab::{Vocab, UNK};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use traj_data::augment::corrupt;
+use traj_data::{Dataset, Grid, Trajectory};
+use traj_cluster::{kmeans, KMeansConfig, Points};
+use traj_nn::optim::Adam;
+use traj_nn::{student_t_assignment, target_distribution, ParamId, ParamStore, Tape, Tensor};
+
+/// Which phase an epoch record belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Pre-training (reconstruction only).
+    Pretrain,
+    /// Self-training (joint loss).
+    SelfTrain,
+}
+
+/// One epoch of training history.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Phase the epoch belongs to.
+    pub phase: Phase,
+    /// Epoch index within its phase.
+    pub epoch: usize,
+    /// Mean reconstruction loss `L_r`.
+    pub recon_loss: f32,
+    /// Mean clustering loss `L_c` (0 when inactive).
+    pub cluster_loss: f32,
+    /// Mean triplet loss `L_t` (0 when inactive).
+    pub triplet_loss: f32,
+    /// Fraction of trajectories that changed cluster at the epoch start
+    /// (self-training only).
+    pub label_change: Option<f64>,
+}
+
+/// Final output of [`E2dtc::fit`].
+#[derive(Clone, Debug)]
+pub struct FitResult {
+    /// Cluster id per trajectory (aligned with the input dataset).
+    pub assignments: Vec<usize>,
+    /// Flat `(n, hidden)` trajectory embeddings.
+    pub embeddings: Vec<f32>,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Flat `(k, hidden)` final centroids.
+    pub centroids: Vec<f32>,
+    /// Per-epoch training history.
+    pub history: Vec<EpochRecord>,
+}
+
+/// Per-epoch observer callback: `(epoch, embeddings (n × hidden flat),
+/// current hard assignments)`. Used by the Fig. 5 learning-process
+/// experiment.
+pub type EpochCallback<'a> = dyn FnMut(usize, &[f32], &[usize]) + 'a;
+
+/// The E²DTC model: seq2seq parameters, cluster centroids, vocabulary,
+/// and optimizer state.
+pub struct E2dtc {
+    pub(crate) cfg: E2dtcConfig,
+    pub(crate) grid: Grid,
+    pub(crate) vocab: Vocab,
+    pub(crate) weights: WeightTable,
+    pub(crate) store: ParamStore,
+    pub(crate) model: Seq2Seq,
+    pub(crate) centroids: Option<ParamId>,
+    pub(crate) opt: Adam,
+    pub(crate) rng: StdRng,
+    /// Tokenized original trajectories, aligned with the dataset.
+    pub(crate) sequences: Vec<Vec<usize>>,
+}
+
+impl E2dtc {
+    /// Builds the model for a dataset: fits the grid, builds the compact
+    /// vocabulary, trains skip-gram cell vectors, and initializes the
+    /// seq2seq parameters. (Phase 1 of Fig. 2.)
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `k_clusters > |dataset|`.
+    pub fn new(dataset: &Dataset, cfg: E2dtcConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit an empty dataset");
+        assert!(
+            cfg.k_clusters >= 1 && cfg.k_clusters <= dataset.len(),
+            "k = {} out of range for {} trajectories",
+            cfg.k_clusters,
+            dataset.len()
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let grid = Grid::fit(dataset, cfg.cell_meters);
+        let vocab = Vocab::build(&grid, &dataset.trajectories);
+        let sequences: Vec<Vec<usize>> = dataset
+            .trajectories
+            .iter()
+            .map(|t| vocab.encode_trajectory(&grid, t, cfg.max_seq_len))
+            .collect();
+        let cell_vectors = train_cell_embeddings(
+            &sequences,
+            vocab.size(),
+            cfg.embed_dim,
+            &cfg.skipgram,
+            &mut rng,
+        );
+        let weights = WeightTable::build(&grid, &vocab, &cell_vectors, cfg.knn_k, cfg.alpha);
+        let mut store = ParamStore::new();
+        let model = Seq2Seq::with_options(
+            &mut store,
+            cell_vectors,
+            cfg.hidden_dim,
+            cfg.layers,
+            cfg.attention,
+            &mut rng,
+        );
+        let opt = Adam::new(cfg.lr).with_max_grad_norm(cfg.max_grad_norm);
+        Self {
+            cfg,
+            grid,
+            vocab,
+            weights,
+            store,
+            model,
+            centroids: None,
+            opt,
+            rng,
+            sequences,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &E2dtcConfig {
+        &self.cfg
+    }
+
+    /// Vocabulary built from the training dataset.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Spatial grid fitted to the training dataset.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Trajectory-representation dimensionality.
+    pub fn repr_dim(&self) -> usize {
+        self.model.hidden_dim()
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Runs the full Algorithm 1: pre-training, centroid initialization,
+    /// self-training, final assignment.
+    pub fn fit(&mut self, dataset: &Dataset) -> FitResult {
+        self.fit_with_callback(dataset, &mut |_, _, _| {})
+    }
+
+    /// [`E2dtc::fit`] with a per-self-training-epoch observer.
+    pub fn fit_with_callback(
+        &mut self,
+        dataset: &Dataset,
+        callback: &mut EpochCallback<'_>,
+    ) -> FitResult {
+        self.ensure_sequences(dataset);
+        let mut history = self.pretrain(dataset, self.cfg.pretrain_epochs);
+        let emb = self.embed_dataset(dataset);
+        self.init_centroids(&emb);
+
+        if self.cfg.loss_mode == LossMode::L0 {
+            // Pre-training only: final clustering is plain k-means (this is
+            // simultaneously the paper's L0 ablation and the embedding half
+            // of the t2vec + k-means baseline).
+            let n = dataset.len();
+            let d = self.repr_dim();
+            let res = best_kmeans(
+                emb.data(),
+                n,
+                d,
+                self.cfg.k_clusters,
+                self.cfg.seed ^ 0x6b6d65616e73,
+            );
+            callback(0, emb.data(), &res.assignment);
+            return FitResult {
+                assignments: res.assignment,
+                embeddings: emb.into_vec(),
+                embed_dim: d,
+                centroids: res.centroids,
+                history,
+            };
+        }
+
+        let (selftrain_history, result) = self.self_train(dataset, callback);
+        history.extend(selftrain_history);
+        FitResult { history, ..result }
+    }
+
+    /// Phase 2: corrupt-and-reconstruct pre-training (Algorithm 1,
+    /// lines 1–2). Each epoch draws one random `(r1, r2)` corruption per
+    /// trajectory from the configured rate grids (the paper's 16-pair
+    /// sweep, sampled across epochs instead of materialized at once).
+    pub fn pretrain(&mut self, dataset: &Dataset, epochs: usize) -> Vec<EpochRecord> {
+        self.ensure_sequences(dataset);
+        let mut history = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            let batches = self.make_batches(dataset.len());
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for batch in &batches {
+                let (inputs, targets) = self.corrupted_batch(dataset, batch);
+                let mut tape = Tape::new();
+                let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
+                let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
+                let enc =
+                    self.model.encode(&mut tape, &self.store, &input_refs, true, &mut self.rng);
+                let loss = self.model.reconstruction_loss(
+                    &mut tape,
+                    &self.store,
+                    &enc,
+                    &target_refs,
+                    &self.weights,
+                    true,
+                    &mut self.rng,
+                );
+                total += tape.value(loss).get(0, 0) as f64;
+                count += 1;
+                tape.backward(loss, &mut self.store);
+                self.opt.step(&mut self.store);
+            }
+            history.push(EpochRecord {
+                phase: Phase::Pretrain,
+                epoch,
+                recon_loss: (total / count.max(1) as f64) as f32,
+                cluster_loss: 0.0,
+                triplet_loss: 0.0,
+                label_change: None,
+            });
+        }
+        history
+    }
+
+    /// Embeds every trajectory of `dataset` (inference; no parameter
+    /// updates). Returns an `(n, hidden)` tensor aligned with the dataset.
+    pub fn embed_dataset(&mut self, dataset: &Dataset) -> Tensor {
+        let sequences = self.dataset_sequences(dataset);
+        let n = sequences.len();
+        let d = self.repr_dim();
+        let mut out = Tensor::zeros(n, d);
+        for batch in self.make_batches_for(&sequences) {
+            let mut tape = Tape::new();
+            let refs: Vec<&[usize]> =
+                batch.iter().map(|&i| sequences[i].as_slice()).collect();
+            let enc = self.model.encode(&mut tape, &self.store, &refs, false, &mut self.rng);
+            let repr = tape.value(enc.repr);
+            for (row, &i) in batch.iter().enumerate() {
+                out.row_mut(i).copy_from_slice(repr.row(row));
+            }
+        }
+        out
+    }
+
+    /// Initializes the cluster centroids by k-means over the embeddings
+    /// (paper §V-C, last paragraph). Re-initializes if called again.
+    pub fn init_centroids(&mut self, embeddings: &Tensor) {
+        let n = embeddings.rows();
+        let d = embeddings.cols();
+        let res =
+            best_kmeans(embeddings.data(), n, d, self.cfg.k_clusters, self.cfg.seed ^ 0x63656e74);
+        let tensor = Tensor::from_vec(self.cfg.k_clusters, d, res.centroids);
+        match self.centroids {
+            Some(id) => *self.store.get_mut(id) = tensor,
+            None => self.centroids = Some(self.store.add("centroids", tensor)),
+        }
+    }
+
+    /// Phase 3: self-training (Algorithm 1, lines 3–10). Returns the
+    /// per-epoch history and the final result (history field left empty
+    /// for the caller to fill).
+    fn self_train(
+        &mut self,
+        dataset: &Dataset,
+        callback: &mut EpochCallback<'_>,
+    ) -> (Vec<EpochRecord>, FitResult) {
+        let centroids_id = self.centroids.expect("init_centroids runs before self_train");
+        self.opt.set_lr(self.cfg.lr * self.cfg.selftrain_lr_scale);
+        let n = dataset.len();
+        let mut history = Vec::new();
+        let mut prev_assign: Option<Vec<usize>> = None;
+        let mut emb = self.embed_dataset(dataset);
+
+        for epoch in 0..self.cfg.selftrain_epochs {
+            // Epoch bookkeeping: Q, P, assignments, stopping rule.
+            let q = student_t_assignment(&emb, self.store.get(centroids_id));
+            let p = target_distribution(&q);
+            let assign = hard_assignment(&q);
+            let change = prev_assign.as_ref().map(|prev| label_change_fraction(prev, &assign));
+            callback(epoch, emb.data(), &assign);
+            if let Some(c) = change {
+                if c <= self.cfg.delta {
+                    history.push(EpochRecord {
+                        phase: Phase::SelfTrain,
+                        epoch,
+                        recon_loss: 0.0,
+                        cluster_loss: 0.0,
+                        triplet_loss: 0.0,
+                        label_change: Some(c),
+                    });
+                    break;
+                }
+            }
+            prev_assign = Some(assign);
+
+            // One pass of joint training.
+            let batches = self.make_batches(n);
+            let (mut sum_r, mut sum_c, mut sum_t) = (0.0f64, 0.0f64, 0.0f64);
+            let mut count = 0usize;
+            let assign_now =
+                prev_assign.as_ref().expect("assignments recorded before training");
+            for batch in &batches {
+                // Hard-negative mining for the triplet loss: for each
+                // anchor, the nearest batch member currently assigned to a
+                // different cluster (falls back to the next row when the
+                // batch is single-cluster).
+                let negatives: Vec<usize> = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(row, &i)| {
+                        batch
+                            .iter()
+                            .enumerate()
+                            .filter(|&(r2, &j)| r2 != row && assign_now[j] != assign_now[i])
+                            .min_by(|&(_, &a), &(_, &b)| {
+                                emb.row_sq_dist(i, &emb, a)
+                                    .total_cmp(&emb.row_sq_dist(i, &emb, b))
+                            })
+                            .map(|(r2, _)| r2)
+                            .unwrap_or((row + 1) % batch.len())
+                    })
+                    .collect();
+                let (lr_, lc, lt) =
+                    self.joint_step(dataset, batch, &p, centroids_id, &negatives);
+                sum_r += lr_ as f64;
+                sum_c += lc as f64;
+                sum_t += lt as f64;
+                count += 1;
+            }
+            history.push(EpochRecord {
+                phase: Phase::SelfTrain,
+                epoch,
+                recon_loss: (sum_r / count.max(1) as f64) as f32,
+                cluster_loss: (sum_c / count.max(1) as f64) as f32,
+                triplet_loss: (sum_t / count.max(1) as f64) as f32,
+                label_change: change,
+            });
+            emb = self.embed_dataset(dataset);
+        }
+
+        let q = student_t_assignment(&emb, self.store.get(centroids_id));
+        let assignments = hard_assignment(&q);
+        let result = FitResult {
+            assignments,
+            embed_dim: emb.cols(),
+            embeddings: emb.into_vec(),
+            centroids: self.store.get(centroids_id).data().to_vec(),
+            history: Vec::new(),
+        };
+        (history, result)
+    }
+
+    /// One joint-loss mini-batch: `L_r + β·L_c + γ·L_t` per the active
+    /// [`LossMode`]. `negatives[row]` is the batch-row index of the mined
+    /// triplet negative for anchor `row`. Returns the three loss values.
+    fn joint_step(
+        &mut self,
+        dataset: &Dataset,
+        batch: &[usize],
+        p: &Tensor,
+        centroids_id: ParamId,
+        negatives: &[usize],
+    ) -> (f32, f32, f32) {
+        let (inputs, targets) = self.corrupted_batch(dataset, batch);
+        let mut tape = Tape::new();
+        let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
+        let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
+
+        // Anchor embeddings from the *original* sequences; positives from
+        // the corrupted variants (which also drive reconstruction).
+        let enc_orig =
+            self.model.encode(&mut tape, &self.store, &target_refs, true, &mut self.rng);
+        let enc_corr =
+            self.model.encode(&mut tape, &self.store, &input_refs, true, &mut self.rng);
+        let l_r = self.model.reconstruction_loss(
+            &mut tape,
+            &self.store,
+            &enc_corr,
+            &target_refs,
+            &self.weights,
+            true,
+            &mut self.rng,
+        );
+        let mut total = l_r;
+        let lr_val = tape.value(l_r).get(0, 0);
+        let mut lc_val = 0.0;
+        let mut lt_val = 0.0;
+
+        if matches!(self.cfg.loss_mode, LossMode::L1 | LossMode::L2) {
+            // Batch rows of the (epoch-fixed) target distribution P.
+            let k = p.cols();
+            let mut p_batch = Tensor::zeros(batch.len(), k);
+            for (row, &i) in batch.iter().enumerate() {
+                p_batch.row_mut(row).copy_from_slice(p.row(i));
+            }
+            let cvar = tape.param(&self.store, centroids_id);
+            let l_c = tape.dec_kl(enc_orig.repr, cvar, p_batch);
+            lc_val = tape.value(l_c).get(0, 0);
+            let scaled = tape.scale(l_c, self.cfg.beta);
+            total = tape.add(total, scaled);
+        }
+        if self.cfg.loss_mode == LossMode::L2 && batch.len() >= 2 {
+            let neg_rows = tape.gather_rows(enc_orig.repr, negatives);
+            let l_t = tape.triplet(
+                enc_orig.repr,
+                enc_corr.repr,
+                neg_rows,
+                self.cfg.triplet_margin,
+            );
+            lt_val = tape.value(l_t).get(0, 0);
+            let scaled = tape.scale(l_t, self.cfg.gamma);
+            total = tape.add(total, scaled);
+        }
+
+        tape.backward(total, &mut self.store);
+        self.opt.step(&mut self.store);
+        (lr_val, lc_val, lt_val)
+    }
+
+    /// Autoencoder round-trip: encodes each trajectory and greedily
+    /// decodes `steps` tokens back, returning the reconstructed paths as
+    /// sequences of grid-cell centres. Inspects what the latent
+    /// representation retains (the t2vec premise that a representation
+    /// learned from low-sampling trajectories can "recover the
+    /// high-sampling trajectory").
+    pub fn reconstruct(
+        &mut self,
+        dataset: &Dataset,
+        steps: usize,
+    ) -> Vec<Vec<traj_data::GpsPoint>> {
+        let sequences = self.dataset_sequences(dataset);
+        let mut out: Vec<Vec<traj_data::GpsPoint>> = vec![Vec::new(); sequences.len()];
+        for batch in self.make_batches_for(&sequences) {
+            let mut tape = Tape::new();
+            let refs: Vec<&[usize]> =
+                batch.iter().map(|&i| sequences[i].as_slice()).collect();
+            let enc = self.model.encode(&mut tape, &self.store, &refs, false, &mut self.rng);
+            let decoded = self.model.greedy_decode(
+                &mut tape,
+                &self.store,
+                &enc,
+                steps,
+                &mut self.rng,
+            );
+            for (row, &i) in batch.iter().enumerate() {
+                out[i] = decoded[row]
+                    .iter()
+                    .filter_map(|&tok| self.vocab.decode(tok))
+                    .map(|grid_tok| self.grid.cell_center(grid_tok))
+                    .collect();
+            }
+        }
+        out
+    }
+
+    /// Soft cluster assignment `Q` for a dataset under the trained model.
+    ///
+    /// # Panics
+    /// Panics if called before centroids exist.
+    pub fn soft_assignment(&mut self, dataset: &Dataset) -> Tensor {
+        let id = self.centroids.expect("model has no centroids yet — run fit first");
+        let emb = self.embed_dataset(dataset);
+        student_t_assignment(&emb, self.store.get(id))
+    }
+
+    /// Hard cluster assignment for a (possibly new) dataset — the paper's
+    /// "once finely trained, it can be efficiently adopted for trajectory
+    /// clustering requests" inference path.
+    pub fn assign(&mut self, dataset: &Dataset) -> Vec<usize> {
+        hard_assignment(&self.soft_assignment(dataset))
+    }
+
+    /// Re-tokenizes `dataset` into `self.sequences` when they are absent
+    /// or misaligned (e.g. after [`E2dtc::load`], or when training moves
+    /// to a different dataset).
+    fn ensure_sequences(&mut self, dataset: &Dataset) {
+        if self.sequences.len() != dataset.len() {
+            self.sequences = self.dataset_sequences(dataset);
+        }
+    }
+
+    /// Tokenizes an arbitrary dataset with the *training* grid/vocabulary
+    /// (unknown cells become `UNK`).
+    fn dataset_sequences(&self, dataset: &Dataset) -> Vec<Vec<usize>> {
+        dataset
+            .trajectories
+            .iter()
+            .map(|t| {
+                let seq = self.vocab.encode_trajectory(&self.grid, t, self.cfg.max_seq_len);
+                if seq.is_empty() {
+                    vec![UNK]
+                } else {
+                    seq
+                }
+            })
+            .collect()
+    }
+
+    /// Index batches sorted by sequence length (minimizes padding), with
+    /// shuffled batch order.
+    fn make_batches(&mut self, n: usize) -> Vec<Vec<usize>> {
+        let lens: Vec<usize> = (0..n).map(|i| self.sequences[i].len()).collect();
+        self.batches_from_lens(&lens)
+    }
+
+    fn make_batches_for(&mut self, sequences: &[Vec<usize>]) -> Vec<Vec<usize>> {
+        let lens: Vec<usize> = sequences.iter().map(Vec::len).collect();
+        self.batches_from_lens(&lens)
+    }
+
+    fn batches_from_lens(&mut self, lens: &[usize]) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..lens.len()).collect();
+        idx.sort_by_key(|&i| lens[i]);
+        let mut batches: Vec<Vec<usize>> = idx
+            .chunks(self.cfg.batch_size.max(1))
+            .map(|c| c.to_vec())
+            .collect();
+        // Shuffle batch order (Fisher–Yates).
+        for i in (1..batches.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            batches.swap(i, j);
+        }
+        batches
+    }
+
+    /// Corrupts each batch trajectory with a random `(r1, r2)` draw and
+    /// returns `(corrupted token sequences, original token sequences)`.
+    fn corrupted_batch(
+        &mut self,
+        dataset: &Dataset,
+        batch: &[usize],
+    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let mut inputs = Vec::with_capacity(batch.len());
+        for &i in batch {
+            let t: &Trajectory = &dataset.trajectories[i];
+            let r1 = *pick(&self.cfg.augment.drop_rates, &mut self.rng);
+            let r2 = *pick(&self.cfg.augment.distort_rates, &mut self.rng);
+            let corrupted = corrupt(t, r1, r2, self.cfg.augment.noise_std_m, &mut self.rng);
+            let mut seq =
+                self.vocab.encode_trajectory(&self.grid, &corrupted, self.cfg.max_seq_len);
+            if seq.is_empty() {
+                seq.push(UNK);
+            }
+            inputs.push(seq);
+        }
+        let targets: Vec<Vec<usize>> =
+            batch.iter().map(|&i| self.sequences[i].clone()).collect();
+        (inputs, targets)
+    }
+}
+
+fn pick<'a, T>(xs: &'a [T], rng: &mut impl Rng) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+/// Multi-restart k-means (8 seeded restarts, best inertia kept). Both the
+/// centroid initialization and the `t2vec + k-means` / `L0` final
+/// clustering use this to keep init variance from dominating results.
+fn best_kmeans(
+    data: &[f32],
+    n: usize,
+    d: usize,
+    k: usize,
+    seed: u64,
+) -> traj_cluster::KMeansResult {
+    (0..8)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r));
+            kmeans(Points::new(data, n, d), KMeansConfig::new(k), &mut rng)
+        })
+        .min_by(|a, b| a.inertia.total_cmp(&b.inertia))
+        .expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::SynthSpec;
+
+    fn tiny_city(n: usize, k: usize) -> traj_data::GeneratedCity {
+        let mut spec = SynthSpec::hangzhou_like(n, 99);
+        spec.num_clusters = k;
+        spec.len_range = (8, 16);
+        spec.outlier_fraction = 0.0;
+        spec.generate()
+    }
+
+    #[test]
+    fn construction_builds_vocab_and_params() {
+        let city = tiny_city(30, 3);
+        let model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        assert!(model.vocab().num_cells() > 10);
+        assert!(model.num_parameters() > 1000);
+        assert_eq!(model.repr_dim(), 24);
+    }
+
+    #[test]
+    fn pretrain_reduces_reconstruction_loss() {
+        let city = tiny_city(40, 3);
+        let mut cfg = E2dtcConfig::tiny(3);
+        cfg.lr = 5e-3;
+        let mut model = E2dtc::new(&city.dataset, cfg);
+        let history = model.pretrain(&city.dataset, 4);
+        assert_eq!(history.len(), 4);
+        let first = history.first().expect("non-empty").recon_loss;
+        let last = history.last().expect("non-empty").recon_loss;
+        assert!(
+            last < first,
+            "pre-training loss did not drop: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn embed_dataset_is_aligned_and_finite() {
+        let city = tiny_city(25, 3);
+        let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        let emb = model.embed_dataset(&city.dataset);
+        assert_eq!(emb.shape(), (25, model.repr_dim()));
+        assert!(!emb.has_non_finite());
+        // Alignment: embedding a single-trajectory dataset gives the same
+        // row (inference is deterministic).
+        let single = Dataset::new("one", vec![city.dataset.trajectories[7].clone()]);
+        let e1 = model.embed_dataset(&single);
+        for (a, b) in e1.row(0).iter().zip(emb.row(7)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fit_produces_k_clusters_and_history() {
+        let city = tiny_city(40, 3);
+        let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        let fit = model.fit(&city.dataset);
+        assert_eq!(fit.assignments.len(), 40);
+        assert!(fit.assignments.iter().all(|&c| c < 3));
+        assert_eq!(fit.embeddings.len(), 40 * model.repr_dim());
+        assert_eq!(fit.centroids.len(), 3 * model.repr_dim());
+        assert!(fit.history.iter().any(|r| r.phase == Phase::Pretrain));
+        assert!(fit.history.iter().any(|r| r.phase == Phase::SelfTrain));
+    }
+
+    #[test]
+    fn l0_mode_skips_self_training() {
+        let city = tiny_city(30, 3);
+        let cfg = E2dtcConfig::tiny(3).with_loss_mode(LossMode::L0);
+        let mut model = E2dtc::new(&city.dataset, cfg);
+        let fit = model.fit(&city.dataset);
+        assert!(fit.history.iter().all(|r| r.phase == Phase::Pretrain));
+        assert_eq!(fit.assignments.len(), 30);
+    }
+
+    #[test]
+    fn assign_works_on_unseen_data() {
+        let city = tiny_city(30, 3);
+        let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        let _ = model.fit(&city.dataset);
+        // A fresh sample from the same generator (different seed).
+        let mut spec2 = SynthSpec::hangzhou_like(10, 123);
+        spec2.num_clusters = 3;
+        spec2.len_range = (8, 16);
+        spec2.outlier_fraction = 0.0;
+        let new_city = spec2.generate();
+        let assign = model.assign(&new_city.dataset);
+        assert_eq!(assign.len(), 10);
+        assert!(assign.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn callback_fires_every_selftrain_epoch() {
+        let city = tiny_city(25, 2);
+        let mut cfg = E2dtcConfig::tiny(2);
+        cfg.selftrain_epochs = 2;
+        cfg.delta = 0.0;
+        let mut model = E2dtc::new(&city.dataset, cfg);
+        let mut epochs = Vec::new();
+        let _ = model.fit_with_callback(&city.dataset, &mut |e, emb, asg| {
+            epochs.push(e);
+            assert_eq!(emb.len(), 25 * 24);
+            assert_eq!(asg.len(), 25);
+        });
+        assert!(!epochs.is_empty());
+        assert_eq!(epochs[0], 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Model persistence: train once, serve clustering requests forever.
+//!
+//! The paper's efficiency story (Fig. 3) rests on training offline and
+//! serving requests with the frozen model. This module serializes
+//! everything inference needs — configuration, grid, vocabulary, spatial
+//! weight table, all network parameters, and optimizer state — as JSON.
+//!
+//! Reconstruction relies on parameter registration being deterministic:
+//! [`crate::seq2seq::Seq2Seq::new`] always registers the same tensors in
+//! the same order for a given architecture, so the saved [`ParamStore`]
+//! slots match a freshly-built model's `ParamId`s exactly (a unit test
+//! pins this invariant).
+
+use crate::config::E2dtcConfig;
+use crate::model::E2dtc;
+use crate::seq2seq::Seq2Seq;
+use crate::spatial_loss::WeightTable;
+use crate::vocab::Vocab;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+use traj_data::Grid;
+use traj_nn::optim::Adam;
+use traj_nn::{ParamId, ParamStore, Tensor};
+
+/// On-disk representation of a trained model.
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    format_version: u32,
+    config: E2dtcConfig,
+    grid: Grid,
+    vocab: Vocab,
+    weights: WeightTable,
+    store: ParamStore,
+    /// Whether the store's final parameter is the centroid matrix.
+    has_centroids: bool,
+    opt: Adam,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+impl E2dtc {
+    /// Serializes the trained model to pretty JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let saved = SavedModel {
+            format_version: FORMAT_VERSION,
+            config: self.cfg.clone(),
+            grid: self.grid.clone(),
+            vocab: self.vocab.clone(),
+            weights: self.weights.clone(),
+            store: self.store.clone(),
+            has_centroids: self.centroids.is_some(),
+            opt: self.opt.clone(),
+        };
+        let file = BufWriter::new(File::create(path)?);
+        serde_json::to_writer(file, &saved).map_err(io::Error::other)
+    }
+
+    /// Loads a model saved with [`E2dtc::save`].
+    ///
+    /// The loaded model is immediately usable for inference
+    /// ([`E2dtc::embed_dataset`], [`E2dtc::assign`]) and for continued
+    /// training (`fit` re-tokenizes its dataset on demand).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<E2dtc> {
+        let file = BufReader::new(File::open(path)?);
+        let saved: SavedModel = serde_json::from_reader(file).map_err(io::Error::other)?;
+        if saved.format_version != FORMAT_VERSION {
+            return Err(io::Error::other(format!(
+                "unsupported model format version {} (expected {FORMAT_VERSION})",
+                saved.format_version
+            )));
+        }
+        // Rebuild the architecture in a scratch store: parameter ids are
+        // assigned in deterministic registration order, so the layer
+        // handles line up with the saved store's slots.
+        let mut scratch = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(saved.config.seed);
+        let placeholder = Tensor::zeros(saved.vocab.size(), saved.config.embed_dim);
+        let model = Seq2Seq::with_options(
+            &mut scratch,
+            placeholder,
+            saved.config.hidden_dim,
+            saved.config.layers,
+            saved.config.attention,
+            &mut rng,
+        );
+        let expected = scratch.len() + usize::from(saved.has_centroids);
+        if saved.store.len() != expected {
+            return Err(io::Error::other(format!(
+                "saved parameter count {} does not match architecture ({expected})",
+                saved.store.len()
+            )));
+        }
+        let centroids = saved
+            .has_centroids
+            .then(|| saved.store.ids().last().expect("store non-empty"));
+        Ok(E2dtc {
+            rng: StdRng::seed_from_u64(saved.config.seed ^ 0x6c6f6164),
+            cfg: saved.config,
+            grid: saved.grid,
+            vocab: saved.vocab,
+            weights: saved.weights,
+            store: saved.store,
+            model,
+            centroids,
+            opt: saved.opt,
+            sequences: Vec::new(),
+        })
+    }
+
+    /// Handle of the centroid parameter, if self-training has run.
+    pub fn centroids_param(&self) -> Option<ParamId> {
+        self.centroids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::E2dtcConfig;
+    use traj_data::SynthSpec;
+
+    fn trained_model() -> (E2dtc, traj_data::Dataset) {
+        let mut spec = SynthSpec::hangzhou_like(40, 77);
+        spec.num_clusters = 3;
+        spec.len_range = (10, 18);
+        spec.outlier_fraction = 0.0;
+        let city = spec.generate();
+        let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        let _ = model.fit(&city.dataset);
+        (model, city.dataset)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_inference() {
+        let (mut model, dataset) = trained_model();
+        let dir = std::env::temp_dir().join("e2dtc_persist_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.json");
+        model.save(&path).expect("save");
+
+        let mut loaded = E2dtc::load(&path).expect("load");
+        let orig_emb = model.embed_dataset(&dataset);
+        let loaded_emb = loaded.embed_dataset(&dataset);
+        assert_eq!(orig_emb, loaded_emb, "embeddings diverge after reload");
+        assert_eq!(model.assign(&dataset), loaded.assign(&dataset));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loaded_model_reports_centroids() {
+        let (model, _) = trained_model();
+        assert!(model.centroids_param().is_some());
+        let dir = std::env::temp_dir().join("e2dtc_persist_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model2.json");
+        model.save(&path).expect("save");
+        let loaded = E2dtc::load(&path).expect("load");
+        assert!(loaded.centroids_param().is_some());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        assert!(E2dtc::load("/nonexistent/model.json").is_err());
+    }
+
+    #[test]
+    fn registration_order_is_deterministic() {
+        // The invariant save/load depends on: two identically-configured
+        // constructions register identical parameter names in order.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let build = || {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let _ = Seq2Seq::new(&mut store, Tensor::zeros(10, 8), 12, 2, &mut rng);
+            store.ids().map(|id| store.name(id).to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

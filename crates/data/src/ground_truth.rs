@@ -1,0 +1,220 @@
+//! Ground-truth generation (paper §VI, Algorithm 2).
+//!
+//! Given a pure trajectory dataset and `k` POI cluster centers, the
+//! algorithm sets every cluster's radius to `σ ×` the minimum pairwise
+//! center distance, then assigns a trajectory `T_i` to the first cluster
+//! `C_j` for which the fraction of `T_i`'s points inside `C_j`'s disc (its
+//! *fallen rate*) reaches the threshold `λ`. Unassigned trajectories are
+//! dropped from the labelled output `T'`.
+
+use crate::point::GpsPoint;
+use crate::trajectory::{Dataset, LabeledDataset, Trajectory};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Algorithm 2.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GroundTruthConfig {
+    /// Radius ratio `σ ∈ (0, 1]` — controls cluster area.
+    pub sigma: f64,
+    /// Fallen threshold `λ ∈ (0, 1]` — minimum in-disc point fraction.
+    pub lambda: f64,
+}
+
+impl Default for GroundTruthConfig {
+    /// The paper's experimental setting: `σ = 0.6`, `λ = 0.7` (§VII-A).
+    fn default() -> Self {
+        Self { sigma: 0.6, lambda: 0.7 }
+    }
+}
+
+impl GroundTruthConfig {
+    /// Creates a config, validating both parameters.
+    ///
+    /// # Panics
+    /// Panics when either parameter is outside `(0, 1]`.
+    pub fn new(sigma: f64, lambda: f64) -> Self {
+        assert!(sigma > 0.0 && sigma <= 1.0, "σ must be in (0, 1], got {sigma}");
+        assert!(lambda > 0.0 && lambda <= 1.0, "λ must be in (0, 1], got {lambda}");
+        Self { sigma, lambda }
+    }
+}
+
+/// Fraction of `t`'s points within `radius_m` of `center`
+/// (the `rangeQuery` / `fallenRate` of Algorithm 2, lines 7–8).
+pub fn fallen_rate(t: &Trajectory, center: &GpsPoint, radius_m: f64) -> f64 {
+    if t.is_empty() {
+        return 0.0;
+    }
+    let fallen = t.points.iter().filter(|p| p.haversine_m(center) <= radius_m).count();
+    fallen as f64 / t.len() as f64
+}
+
+/// Runs Algorithm 2: labels each trajectory with the first cluster whose
+/// disc contains at least `λ` of its points. Returns the labelled subset
+/// `T'` plus, aligned with the *input* dataset, the per-trajectory
+/// assignment (`None` = dropped as an outlier).
+///
+/// # Panics
+/// Panics when `centers` is empty.
+pub fn generate_ground_truth(
+    dataset: &Dataset,
+    centers: &[GpsPoint],
+    cfg: GroundTruthConfig,
+) -> (LabeledDataset, Vec<Option<usize>>) {
+    assert!(!centers.is_empty(), "Algorithm 2 needs at least one cluster center");
+    let radius = cluster_radius_m(centers, cfg.sigma);
+
+    let mut kept = Vec::new();
+    let mut labels = Vec::new();
+    let mut assignment = Vec::with_capacity(dataset.len());
+    for t in &dataset.trajectories {
+        // Lines 5–11: traverse centers; first hit wins, then break.
+        let mut assigned = None;
+        for (j, c) in centers.iter().enumerate() {
+            if fallen_rate(t, c, radius) >= cfg.lambda {
+                assigned = Some(j);
+                break;
+            }
+        }
+        assignment.push(assigned);
+        if let Some(j) = assigned {
+            kept.push(t.clone());
+            labels.push(j);
+        }
+    }
+    (
+        LabeledDataset {
+            dataset: Dataset::new(format!("{}-labelled", dataset.name), kept),
+            labels,
+            num_clusters: centers.len(),
+        },
+        assignment,
+    )
+}
+
+/// The common radius of Algorithm 2 (lines 2–4): `σ ×` minimum pairwise
+/// center distance. With a single center a nominal 2 km city radius is
+/// used.
+pub fn cluster_radius_m(centers: &[GpsPoint], sigma: f64) -> f64 {
+    let mut min = f64::INFINITY;
+    for i in 0..centers.len() {
+        for j in i + 1..centers.len() {
+            min = min.min(centers[i].haversine_m(&centers[j]));
+        }
+    }
+    if min.is_finite() {
+        min * sigma
+    } else {
+        2_000.0 * sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle_traj(id: u64, center: GpsPoint, radius_m: f64, n: usize) -> Trajectory {
+        let points = (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                let p = center.offset_m(radius_m * a.cos(), radius_m * a.sin());
+                GpsPoint::new(p.lat, p.lon, i as f64)
+            })
+            .collect();
+        Trajectory::new(id, points)
+    }
+
+    fn centers() -> Vec<GpsPoint> {
+        vec![GpsPoint::new(30.0, 120.0, 0.0), GpsPoint::new(30.0, 120.1, 0.0)]
+    }
+
+    #[test]
+    fn fallen_rate_full_and_zero() {
+        let c = GpsPoint::new(30.0, 120.0, 0.0);
+        let inside = circle_traj(0, c, 100.0, 10);
+        let outside = circle_traj(1, c, 50_000.0, 10);
+        assert_eq!(fallen_rate(&inside, &c, 500.0), 1.0);
+        assert_eq!(fallen_rate(&outside, &c, 500.0), 0.0);
+    }
+
+    #[test]
+    fn radius_uses_min_pairwise_distance_times_sigma() {
+        let cs = centers();
+        let sep = cs[0].haversine_m(&cs[1]);
+        let r = cluster_radius_m(&cs, 0.6);
+        assert!((r - 0.6 * sep).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assigns_trajectories_to_their_enclosing_center() {
+        let cs = centers();
+        let radius = cluster_radius_m(&cs, 0.6);
+        let t0 = circle_traj(0, cs[0], radius * 0.3, 20);
+        let t1 = circle_traj(1, cs[1], radius * 0.3, 20);
+        // Far outside both discs.
+        let far = circle_traj(2, GpsPoint::new(31.0, 121.0, 0.0), 100.0, 20);
+        let data = Dataset::new("t", vec![t0, t1, far]);
+        let (labelled, assignment) =
+            generate_ground_truth(&data, &cs, GroundTruthConfig::default());
+        assert_eq!(assignment, vec![Some(0), Some(1), None]);
+        assert_eq!(labelled.labels, vec![0, 1]);
+        assert_eq!(labelled.len(), 2);
+        assert_eq!(labelled.num_clusters, 2);
+    }
+
+    #[test]
+    fn lambda_controls_partial_membership() {
+        let cs = centers();
+        let radius = cluster_radius_m(&cs, 0.6);
+        // Half the points inside center 0's disc, half far away.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            let base = if i < 5 { cs[0] } else { GpsPoint::new(35.0, 125.0, 0.0) };
+            points.push(GpsPoint::new(base.lat, base.lon, i as f64));
+        }
+        let t = Trajectory::new(0, points);
+        let data = Dataset::new("t", vec![t]);
+        let (_, strict) =
+            generate_ground_truth(&data, &cs, GroundTruthConfig::new(0.6, 0.7));
+        assert_eq!(strict, vec![None], "50 % fallen rate must fail λ = 0.7");
+        let (_, lax) = generate_ground_truth(&data, &cs, GroundTruthConfig::new(0.6, 0.5));
+        assert_eq!(lax, vec![Some(0)], "50 % fallen rate passes λ = 0.5");
+        let _ = radius;
+    }
+
+    #[test]
+    #[should_panic(expected = "σ must be in")]
+    fn sigma_out_of_range_panics() {
+        let _ = GroundTruthConfig::new(1.5, 0.7);
+    }
+
+    #[test]
+    fn synth_presets_survive_algorithm_2() {
+        // End-to-end: the generator's intended labels should largely agree
+        // with Algorithm 2's output under the paper's σ/λ.
+        let city = crate::synth::SynthSpec::hangzhou_like(200, 7).generate();
+        let (labelled, assignment) =
+            generate_ground_truth(&city.dataset, &city.pois, GroundTruthConfig::default());
+        assert!(
+            labelled.len() as f64 >= 0.7 * city.dataset.len() as f64,
+            "only {}/{} trajectories labelled",
+            labelled.len(),
+            city.dataset.len()
+        );
+        // Among trajectories with both an intended and an assigned cluster,
+        // agreement should be near-perfect.
+        let mut agree = 0;
+        let mut both = 0;
+        for (i, a) in assignment.iter().enumerate() {
+            if let (Some(x), Some(y)) = (city.intended[i], *a) {
+                both += 1;
+                if x == y {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(both > 0);
+        let rate = agree as f64 / both as f64;
+        assert!(rate > 0.95, "intended/assigned agreement only {rate:.2}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Dataset (de)serialization.
+//!
+//! The paper releases its labelled datasets for further research; this
+//! module provides the equivalent: JSON round-tripping of datasets and
+//! labelled datasets, plus a simple per-point CSV export for external
+//! tools (QGIS, pandas, …).
+
+use crate::trajectory::{Dataset, LabeledDataset};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Saves a labelled dataset as pretty JSON.
+pub fn save_labeled_json(data: &LabeledDataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    serde_json::to_writer_pretty(file, data).map_err(io::Error::other)
+}
+
+/// Loads a labelled dataset from JSON.
+pub fn load_labeled_json(path: impl AsRef<Path>) -> io::Result<LabeledDataset> {
+    let file = BufReader::new(File::open(path)?);
+    serde_json::from_reader(file).map_err(io::Error::other)
+}
+
+/// Saves a raw dataset as pretty JSON.
+pub fn save_dataset_json(data: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    serde_json::to_writer_pretty(file, data).map_err(io::Error::other)
+}
+
+/// Loads a raw dataset from JSON.
+pub fn load_dataset_json(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let file = BufReader::new(File::open(path)?);
+    serde_json::from_reader(file).map_err(io::Error::other)
+}
+
+/// Exports a labelled dataset as flat CSV
+/// (`traj_id,label,seq,lat,lon,time`), one row per GPS point.
+pub fn export_labeled_csv(data: &LabeledDataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut file = BufWriter::new(File::create(path)?);
+    writeln!(file, "traj_id,label,seq,lat,lon,time")?;
+    for (t, &label) in data.dataset.trajectories.iter().zip(&data.labels) {
+        for (seq, p) in t.points.iter().enumerate() {
+            writeln!(file, "{},{},{},{:.7},{:.7},{:.1}", t.id, label, seq, p.lat, p.lon, p.time)?;
+        }
+    }
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::GpsPoint;
+    use crate::trajectory::Trajectory;
+
+    fn sample() -> LabeledDataset {
+        let t = Trajectory::new(
+            7,
+            vec![GpsPoint::new(30.123, 120.456, 0.0), GpsPoint::new(30.124, 120.457, 5.0)],
+        );
+        LabeledDataset {
+            dataset: Dataset::new("sample", vec![t]),
+            labels: vec![2],
+            num_clusters: 3,
+        }
+    }
+
+    #[test]
+    fn labeled_json_roundtrip() {
+        let dir = std::env::temp_dir().join("traj_data_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("labeled.json");
+        let data = sample();
+        save_labeled_json(&data, &path).expect("save");
+        let back = load_labeled_json(&path).expect("load");
+        assert_eq!(back.labels, data.labels);
+        assert_eq!(back.dataset.trajectories, data.dataset.trajectories);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let dir = std::env::temp_dir().join("traj_data_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("export.csv");
+        export_labeled_csv(&sample(), &path).expect("export");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "traj_id,label,seq,lat,lon,time");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("7,2,0,"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_labeled_json("/nonexistent/nope.json").is_err());
+    }
+}

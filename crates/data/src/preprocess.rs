@@ -1,0 +1,268 @@
+//! Trajectory preprocessing utilities.
+//!
+//! Real GPS feeds need cleanup before clustering: polyline simplification
+//! (Douglas–Peucker), stay-point collapsing, splitting on recording gaps,
+//! and speed-based outlier removal. The paper's pipeline consumes raw
+//! trajectories, but any production adopter of this crate runs these
+//! first; they are also handy for stress-testing the model's robustness
+//! to preprocessing choices.
+
+use crate::point::GpsPoint;
+use crate::trajectory::Trajectory;
+
+/// Douglas–Peucker polyline simplification with tolerance in meters.
+///
+/// Keeps the endpooints and every point whose perpendicular offset from
+/// the current chord exceeds `tolerance_m`.
+pub fn douglas_peucker(t: &Trajectory, tolerance_m: f64) -> Trajectory {
+    if t.len() <= 2 {
+        return t.clone();
+    }
+    let pts = &t.points;
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo + 1, -1.0f64);
+        for i in (lo + 1)..hi {
+            let d = point_segment_distance_m(&pts[i], &pts[lo], &pts[hi]);
+            if d > worst_d {
+                worst_d = d;
+                worst = i;
+            }
+        }
+        if worst_d > tolerance_m {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    Trajectory::new(
+        t.id,
+        pts.iter().zip(&keep).filter(|&(_, &k)| k).map(|(p, _)| *p).collect(),
+    )
+}
+
+/// Perpendicular distance from `p` to the segment `a`–`b`, meters
+/// (city-scale planar approximation).
+pub fn point_segment_distance_m(p: &GpsPoint, a: &GpsPoint, b: &GpsPoint) -> f64 {
+    // Project into meters relative to `a`.
+    let mid_lat = a.lat.to_radians();
+    let mx = |q: &GpsPoint| (q.lon - a.lon).to_radians() * mid_lat.cos() * crate::point::EARTH_RADIUS_M;
+    let my = |q: &GpsPoint| (q.lat - a.lat).to_radians() * crate::point::EARTH_RADIUS_M;
+    let (px, py) = (mx(p), my(p));
+    let (bx, by) = (mx(b), my(b));
+    let len_sq = bx * bx + by * by;
+    if len_sq <= f64::EPSILON {
+        return (px * px + py * py).sqrt();
+    }
+    let u = ((px * bx + py * by) / len_sq).clamp(0.0, 1.0);
+    let (dx, dy) = (px - u * bx, py - u * by);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Collapses *stay points*: maximal runs of consecutive points that stay
+/// within `radius_m` of the run's first point for at least `min_stay_s`
+/// seconds are replaced by a single representative (their centroid, kept
+/// at the run's start time).
+pub fn collapse_stay_points(t: &Trajectory, radius_m: f64, min_stay_s: f64) -> Trajectory {
+    let pts = &t.points;
+    let mut out: Vec<GpsPoint> = Vec::with_capacity(pts.len());
+    let mut i = 0;
+    while i < pts.len() {
+        let anchor = pts[i];
+        let mut j = i + 1;
+        while j < pts.len() && pts[j].haversine_m(&anchor) <= radius_m {
+            j += 1;
+        }
+        let dwell = pts[j - 1].time - anchor.time;
+        if j - i >= 2 && dwell >= min_stay_s {
+            // Replace the run with its centroid.
+            let n = (j - i) as f64;
+            let lat = pts[i..j].iter().map(|p| p.lat).sum::<f64>() / n;
+            let lon = pts[i..j].iter().map(|p| p.lon).sum::<f64>() / n;
+            out.push(GpsPoint::new(lat, lon, anchor.time));
+        } else {
+            out.extend_from_slice(&pts[i..j]);
+        }
+        i = j;
+    }
+    Trajectory::new(t.id, out)
+}
+
+/// Splits a trajectory wherever consecutive samples are more than
+/// `max_gap_s` seconds apart (recording interruptions). Segments shorter
+/// than `min_points` are dropped. Sub-trajectory ids are derived from the
+/// parent id.
+pub fn split_on_gaps(t: &Trajectory, max_gap_s: f64, min_points: usize) -> Vec<Trajectory> {
+    let mut out = Vec::new();
+    let mut current: Vec<GpsPoint> = Vec::new();
+    let mut part = 0u64;
+    let mut flush = |buf: &mut Vec<GpsPoint>, part: &mut u64| {
+        if buf.len() >= min_points.max(1) {
+            out.push(Trajectory::new(t.id * 1000 + *part, std::mem::take(buf)));
+            *part += 1;
+        } else {
+            buf.clear();
+        }
+    };
+    for p in &t.points {
+        if let Some(last) = current.last() {
+            if p.time - last.time > max_gap_s {
+                flush(&mut current, &mut part);
+            }
+        }
+        current.push(*p);
+    }
+    flush(&mut current, &mut part);
+    out
+}
+
+/// Removes points implying a physically impossible speed from their
+/// predecessor (GPS teleports). The first point is always kept.
+pub fn remove_speed_outliers(t: &Trajectory, max_speed_mps: f64) -> Trajectory {
+    let mut out: Vec<GpsPoint> = Vec::with_capacity(t.len());
+    for p in &t.points {
+        match out.last() {
+            None => out.push(*p),
+            Some(prev) => {
+                let dt = (p.time - prev.time).max(1e-9);
+                let v = prev.haversine_m(p) / dt;
+                if v <= max_speed_mps {
+                    out.push(*p);
+                }
+            }
+        }
+    }
+    Trajectory::new(t.id, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(points: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            9,
+            points.iter().map(|&(lat, lon, t)| GpsPoint::new(lat, lon, t)).collect(),
+        )
+    }
+
+    #[test]
+    fn douglas_peucker_keeps_straight_line_endpoints_only() {
+        let t = traj(&[
+            (30.0, 120.0, 0.0),
+            (30.0, 120.01, 1.0),
+            (30.0, 120.02, 2.0),
+            (30.0, 120.03, 3.0),
+        ]);
+        let s = douglas_peucker(&t, 10.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points[0], t.points[0]);
+        assert_eq!(s.points[1], t.points[3]);
+    }
+
+    #[test]
+    fn douglas_peucker_preserves_significant_corners() {
+        // An L-shaped path: the corner must survive.
+        let t = traj(&[
+            (30.0, 120.0, 0.0),
+            (30.0, 120.02, 1.0),
+            (30.02, 120.02, 2.0),
+        ]);
+        let s = douglas_peucker(&t, 10.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn douglas_peucker_tolerance_monotone() {
+        let t = traj(&[
+            (30.0, 120.0, 0.0),
+            (30.001, 120.01, 1.0),
+            (30.0, 120.02, 2.0),
+            (30.002, 120.03, 3.0),
+            (30.0, 120.04, 4.0),
+        ]);
+        let fine = douglas_peucker(&t, 5.0);
+        let coarse = douglas_peucker(&t, 5000.0);
+        assert!(coarse.len() <= fine.len());
+        assert_eq!(coarse.len(), 2);
+    }
+
+    #[test]
+    fn stay_points_collapse_to_centroid() {
+        // 5 samples dwelling at one spot for 100 s, then a move.
+        let t = traj(&[
+            (30.0, 120.0, 0.0),
+            (30.00001, 120.00001, 30.0),
+            (30.00002, 120.0, 60.0),
+            (30.0, 120.00002, 100.0),
+            (30.05, 120.05, 130.0),
+        ]);
+        let c = collapse_stay_points(&t, 50.0, 60.0);
+        assert_eq!(c.len(), 2, "dwell run should collapse to one point");
+        assert_eq!(c.points[0].time, 0.0);
+        assert!(c.points[0].haversine_m(&t.points[0]) < 10.0);
+    }
+
+    #[test]
+    fn short_dwell_is_not_collapsed() {
+        let t = traj(&[
+            (30.0, 120.0, 0.0),
+            (30.00001, 120.0, 5.0),
+            (30.05, 120.05, 10.0),
+        ]);
+        let c = collapse_stay_points(&t, 50.0, 60.0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn split_on_gaps_breaks_at_interruption() {
+        let t = traj(&[
+            (30.0, 120.0, 0.0),
+            (30.001, 120.0, 5.0),
+            (30.002, 120.0, 10.0),
+            // 10 minute gap
+            (30.1, 120.1, 610.0),
+            (30.101, 120.1, 615.0),
+        ]);
+        let parts = split_on_gaps(&t, 60.0, 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 3);
+        assert_eq!(parts[1].len(), 2);
+        assert_ne!(parts[0].id, parts[1].id);
+    }
+
+    #[test]
+    fn split_drops_undersized_segments() {
+        let t = traj(&[(30.0, 120.0, 0.0), (30.1, 120.1, 1000.0)]);
+        let parts = split_on_gaps(&t, 60.0, 2);
+        assert!(parts.is_empty(), "two singleton segments must be dropped");
+    }
+
+    #[test]
+    fn speed_outliers_are_removed() {
+        // Middle point implies ~11 km/s.
+        let t = traj(&[
+            (30.0, 120.0, 0.0),
+            (30.1, 120.0, 1.0),
+            (30.0005, 120.0, 2.0),
+        ]);
+        let clean = remove_speed_outliers(&t, 50.0);
+        assert_eq!(clean.len(), 2);
+        assert_eq!(clean.points[0], t.points[0]);
+        assert_eq!(clean.points[1], t.points[2]);
+    }
+
+    #[test]
+    fn segment_distance_degenerate_segment() {
+        let p = GpsPoint::new(30.01, 120.0, 0.0);
+        let a = GpsPoint::new(30.0, 120.0, 0.0);
+        let d = point_segment_distance_m(&p, &a, &a);
+        assert!((d - p.haversine_m(&a)).abs() < 5.0);
+    }
+}

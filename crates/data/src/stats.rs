@@ -1,0 +1,109 @@
+//! Dataset statistics (regenerates the rows of the paper's Tables II & V).
+
+use crate::trajectory::LabeledDataset;
+use serde::{Deserialize, Serialize};
+
+/// Table II-style statistics of a labelled dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of labelled trajectories.
+    pub trajectories: usize,
+    /// Total GPS points.
+    pub points: usize,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Mean points per trajectory.
+    pub mean_length: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a labelled dataset.
+    pub fn of(data: &LabeledDataset) -> Self {
+        let trajectories = data.len();
+        let points = data.dataset.total_points();
+        Self {
+            name: data.dataset.name.clone(),
+            trajectories,
+            points,
+            num_clusters: data.num_clusters,
+            mean_length: if trajectories == 0 {
+                0.0
+            } else {
+                points as f64 / trajectories as f64
+            },
+        }
+    }
+}
+
+/// Table V-style cluster-size distribution statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistributionStats {
+    /// Smallest cluster size.
+    pub min_cluster_size: usize,
+    /// Largest cluster size.
+    pub max_cluster_size: usize,
+    /// Mean cluster size.
+    pub avg_cluster_size: f64,
+}
+
+impl DistributionStats {
+    /// Computes min/max/avg cluster sizes of a labelled dataset.
+    pub fn of(data: &LabeledDataset) -> Self {
+        let sizes = data.cluster_sizes();
+        let nonempty: Vec<usize> = sizes.into_iter().filter(|&s| s > 0).collect();
+        if nonempty.is_empty() {
+            return Self { min_cluster_size: 0, max_cluster_size: 0, avg_cluster_size: 0.0 };
+        }
+        let min = *nonempty.iter().min().expect("non-empty");
+        let max = *nonempty.iter().max().expect("non-empty");
+        let avg = nonempty.iter().sum::<usize>() as f64 / nonempty.len() as f64;
+        Self { min_cluster_size: min, max_cluster_size: max, avg_cluster_size: avg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::GpsPoint;
+    use crate::trajectory::{Dataset, Trajectory};
+
+    fn labelled(labels: Vec<usize>, k: usize) -> LabeledDataset {
+        let trajectories = labels
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                Trajectory::new(i as u64, vec![GpsPoint::new(30.0, 120.0, 0.0); i % 3 + 1])
+            })
+            .collect();
+        LabeledDataset { dataset: Dataset::new("t", trajectories), labels, num_clusters: k }
+    }
+
+    #[test]
+    fn dataset_stats_counts() {
+        let d = labelled(vec![0, 1, 0], 2);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.trajectories, 3);
+        assert_eq!(s.points, 1 + 2 + 3);
+        assert_eq!(s.num_clusters, 2);
+        assert!((s.mean_length - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_stats_min_max_avg() {
+        let d = labelled(vec![0, 0, 0, 1, 2, 2], 3);
+        let s = DistributionStats::of(&d);
+        assert_eq!(s.min_cluster_size, 1);
+        assert_eq!(s.max_cluster_size, 3);
+        assert!((s.avg_cluster_size - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_clusters_are_ignored() {
+        let d = labelled(vec![0, 0], 4);
+        let s = DistributionStats::of(&d);
+        assert_eq!(s.min_cluster_size, 2);
+        assert_eq!(s.max_cluster_size, 2);
+    }
+}

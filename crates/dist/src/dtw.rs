@@ -1,0 +1,114 @@
+//! Dynamic Time Warping (Yi, Jagadish, Faloutsos — ICDE 1998).
+//!
+//! `DTW(A, B)` is the minimum cumulative point-to-point distance over all
+//! monotone alignments of the two sequences. O(|A|·|B|) time, O(min) space
+//! via a rolling row.
+
+use traj_data::Trajectory;
+
+/// DTW distance in meters between two trajectories.
+///
+/// Empty inputs: `0` if both are empty, `+∞` if exactly one is.
+pub fn dtw(a: &Trajectory, b: &Trajectory) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    match (n, m) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return f64::INFINITY,
+        _ => {}
+    }
+    // prev[j] = D(i-1, j), curr[j] = D(i, j); j indexes b, 1-based stored 0..=m.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = f64::INFINITY;
+        let pa = &a.points[i - 1];
+        for j in 1..=m {
+            let cost = pa.euclid_approx_m(&b.points[j - 1]);
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// DTW normalized by the alignment-path lower bound `max(|A|, |B|)`,
+/// giving a length-comparable per-point cost in meters.
+pub fn dtw_normalized(a: &Trajectory, b: &Trajectory) -> f64 {
+    let d = dtw(a, b);
+    let denom = a.len().max(b.len());
+    if denom == 0 {
+        0.0
+    } else {
+        d / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::GpsPoint;
+
+    fn traj(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            0,
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(lat, lon))| GpsPoint::new(lat, lon, i as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_distance() {
+        let t = traj(&[(30.0, 120.0), (30.01, 120.01), (30.02, 120.02)]);
+        assert_eq!(dtw(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn dtw_is_symmetric() {
+        let a = traj(&[(30.0, 120.0), (30.01, 120.0)]);
+        let b = traj(&[(30.0, 120.0), (30.005, 120.0), (30.01, 120.0)]);
+        assert!((dtw(&a, &b) - dtw(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_tolerates_resampling() {
+        // The same path sampled at 2× rate should stay close.
+        let sparse = traj(&[(30.0, 120.0), (30.02, 120.0), (30.04, 120.0)]);
+        let dense = traj(&[
+            (30.0, 120.0),
+            (30.01, 120.0),
+            (30.02, 120.0),
+            (30.03, 120.0),
+            (30.04, 120.0),
+        ]);
+        let far = traj(&[(30.2, 120.2), (30.22, 120.2), (30.24, 120.2)]);
+        assert!(dtw(&sparse, &dense) < dtw(&sparse, &far) / 10.0);
+    }
+
+    #[test]
+    fn single_point_vs_path_accumulates() {
+        let single = traj(&[(30.0, 120.0)]);
+        let path = traj(&[(30.0, 120.0), (30.0, 120.0)]);
+        assert_eq!(dtw(&single, &path), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        let e = traj(&[]);
+        let t = traj(&[(30.0, 120.0)]);
+        assert_eq!(dtw(&e, &e), 0.0);
+        assert!(dtw(&e, &t).is_infinite());
+    }
+
+    #[test]
+    fn normalized_divides_by_longer_length() {
+        let a = traj(&[(30.0, 120.0), (30.0, 120.0)]);
+        let b = traj(&[(30.01, 120.0)]);
+        let d = dtw(&a, &b);
+        assert!((dtw_normalized(&a, &b) - d / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Discrete Fréchet distance (Eiter & Mannila, 1994).
+//!
+//! The "dog-leash" distance: the minimum over monotone traversals of the
+//! maximum pointwise distance. Order-sensitive like DTW but max- instead
+//! of sum-aggregated — a useful extension baseline between DTW and
+//! Hausdorff.
+
+use traj_data::Trajectory;
+
+/// Discrete Fréchet distance in meters.
+///
+/// Empty inputs: `0` if both empty, `+∞` if exactly one is.
+pub fn frechet(a: &Trajectory, b: &Trajectory) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    match (n, m) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return f64::INFINITY,
+        _ => {}
+    }
+    let mut prev = vec![f64::INFINITY; m];
+    let mut curr = vec![f64::INFINITY; m];
+    for i in 0..n {
+        let pa = &a.points[i];
+        for j in 0..m {
+            let d = pa.euclid_approx_m(&b.points[j]);
+            let best_prefix = if i == 0 && j == 0 {
+                0.0
+            } else if i == 0 {
+                curr[j - 1]
+            } else if j == 0 {
+                prev[j]
+            } else {
+                prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+            curr[j] = d.max(best_prefix);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hausdorff::hausdorff;
+    use traj_data::GpsPoint;
+
+    fn traj(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            0,
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(lat, lon))| GpsPoint::new(lat, lon, i as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let t = traj(&[(30.0, 120.0), (30.01, 120.01), (30.02, 120.0)]);
+        assert_eq!(frechet(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = traj(&[(30.0, 120.0), (30.01, 120.0)]);
+        let b = traj(&[(30.0, 120.01), (30.005, 120.01), (30.01, 120.01)]);
+        assert!((frechet(&a, &b) - frechet(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_segments_distance_is_offset() {
+        let a = traj(&[(30.0, 120.0), (30.0, 120.01)]);
+        let b = traj(&[(30.01, 120.0), (30.01, 120.01)]);
+        let f = frechet(&a, &b);
+        assert!((f - 1112.0).abs() < 10.0, "got {f}");
+    }
+
+    #[test]
+    fn frechet_upper_bounds_hausdorff() {
+        // For any pair, H(A, B) ≤ F(A, B) (classic relationship).
+        let a = traj(&[(30.0, 120.0), (30.01, 120.0), (30.02, 120.0)]);
+        let b = traj(&[(30.02, 120.001), (30.01, 120.001), (30.0, 120.001)]);
+        assert!(hausdorff(&a, &b) <= frechet(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn reversal_matters_unlike_hausdorff() {
+        // A path against its reverse: Hausdorff ≈ 0 but Fréchet ≈ the
+        // path extent (the leash must stretch across).
+        let a = traj(&[(30.0, 120.0), (30.01, 120.0), (30.02, 120.0)]);
+        let rev = traj(&[(30.02, 120.0), (30.01, 120.0), (30.0, 120.0)]);
+        assert!(hausdorff(&a, &rev) < 1.0);
+        assert!(frechet(&a, &rev) > 1000.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e = traj(&[]);
+        let t = traj(&[(30.0, 120.0)]);
+        assert_eq!(frechet(&e, &e), 0.0);
+        assert!(frechet(&e, &t).is_infinite());
+    }
+}

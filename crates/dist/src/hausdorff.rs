@@ -1,0 +1,101 @@
+//! Symmetric Hausdorff distance between trajectories (shape-based metric).
+//!
+//! `H(A, B) = max( max_a min_b d(a, b), max_b min_a d(a, b) )` over the
+//! point sets, ignoring temporal order — the classic shape comparator used
+//! by the paper's `Hausdorff + KM` baseline.
+
+use traj_data::Trajectory;
+
+/// Directed Hausdorff `max_{a∈A} min_{b∈B} d(a, b)` in meters.
+pub fn directed_hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut worst = 0.0f64;
+    for pa in &a.points {
+        let mut best = f64::INFINITY;
+        for pb in &b.points {
+            let d = pa.euclid_approx_m(pb);
+            if d < best {
+                best = d;
+                if best <= worst {
+                    // Early exit: this point can no longer raise the max.
+                    break;
+                }
+            }
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+/// Symmetric Hausdorff distance in meters.
+pub fn hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::GpsPoint;
+
+    fn traj(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            0,
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(lat, lon))| GpsPoint::new(lat, lon, i as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_zero() {
+        let t = traj(&[(30.0, 120.0), (30.01, 120.01)]);
+        assert_eq!(hausdorff(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = traj(&[(30.0, 120.0), (30.02, 120.0)]);
+        let b = traj(&[(30.0, 120.01)]);
+        assert_eq!(hausdorff(&a, &b), hausdorff(&b, &a));
+    }
+
+    #[test]
+    fn subset_has_zero_directed_distance() {
+        let a = traj(&[(30.0, 120.0)]);
+        let b = traj(&[(30.0, 120.0), (30.05, 120.0)]);
+        assert_eq!(directed_hausdorff(&a, &b), 0.0);
+        assert!(directed_hausdorff(&b, &a) > 0.0);
+    }
+
+    #[test]
+    fn known_offset_distance() {
+        // Two parallel 2-point segments offset by ~1112 m of latitude.
+        let a = traj(&[(30.0, 120.0), (30.0, 120.01)]);
+        let b = traj(&[(30.01, 120.0), (30.01, 120.01)]);
+        let h = hausdorff(&a, &b);
+        assert!((h - 1112.0).abs() < 10.0, "got {h}");
+    }
+
+    #[test]
+    fn order_invariance() {
+        // Hausdorff ignores traversal direction.
+        let a = traj(&[(30.0, 120.0), (30.01, 120.0), (30.02, 120.0)]);
+        let rev = traj(&[(30.02, 120.0), (30.01, 120.0), (30.0, 120.0)]);
+        assert!(hausdorff(&a, &rev) < 1e-9);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e = traj(&[]);
+        let t = traj(&[(30.0, 120.0)]);
+        assert_eq!(hausdorff(&e, &e), 0.0);
+        assert!(hausdorff(&e, &t).is_infinite());
+    }
+}

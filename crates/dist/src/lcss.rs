@@ -1,0 +1,110 @@
+//! Longest Common SubSequence similarity (Vlachos, Kollios, Gunopulos —
+//! ICDE 2002).
+//!
+//! Points match when within `eps_m` meters (and optionally within `delta`
+//! index positions, the ICDE'02 time-warp constraint). The LCSS *distance*
+//! is `1 − LCSS/min(|A|, |B|)`.
+
+use traj_data::Trajectory;
+
+/// Length of the longest common subsequence under the spatial threshold
+/// `eps_m` and optional index-offset constraint `delta`.
+pub fn lcss_length(a: &Trajectory, b: &Trajectory, eps_m: f64, delta: Option<usize>) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let mut prev = vec![0usize; m + 1];
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        curr[0] = 0;
+        let pa = &a.points[i - 1];
+        for j in 1..=m {
+            let within_delta = delta.is_none_or(|d| i.abs_diff(j) <= d);
+            if within_delta && pa.euclid_approx_m(&b.points[j - 1]) <= eps_m {
+                curr[j] = prev[j - 1] + 1;
+            } else {
+                curr[j] = prev[j].max(curr[j - 1]);
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// LCSS distance `1 − LCSS/min(|A|, |B|)`, in `[0, 1]`.
+pub fn lcss_distance(a: &Trajectory, b: &Trajectory, eps_m: f64) -> f64 {
+    let denom = a.len().min(b.len());
+    if denom == 0 {
+        return if a.len() == b.len() { 0.0 } else { 1.0 };
+    }
+    1.0 - lcss_length(a, b, eps_m, None) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::GpsPoint;
+
+    fn traj(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            0,
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(lat, lon))| GpsPoint::new(lat, lon, i as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_full_match() {
+        let t = traj(&[(30.0, 120.0), (30.01, 120.0), (30.02, 120.0)]);
+        assert_eq!(lcss_length(&t, &t, 10.0, None), 3);
+        assert_eq!(lcss_distance(&t, &t, 10.0), 0.0);
+    }
+
+    #[test]
+    fn disjoint_no_match() {
+        let a = traj(&[(30.0, 120.0), (30.01, 120.0)]);
+        let b = traj(&[(35.0, 125.0), (35.01, 125.0)]);
+        assert_eq!(lcss_length(&a, &b, 100.0, None), 0);
+        assert_eq!(lcss_distance(&a, &b, 100.0), 1.0);
+    }
+
+    #[test]
+    fn subsequence_matches_fully() {
+        // b is a subsampled a => LCSS = |b|, distance 0.
+        let a = traj(&[(30.0, 120.0), (30.01, 120.0), (30.02, 120.0), (30.03, 120.0)]);
+        let b = traj(&[(30.0, 120.0), (30.02, 120.0)]);
+        assert_eq!(lcss_length(&a, &b, 10.0, None), 2);
+        assert_eq!(lcss_distance(&a, &b, 10.0), 0.0);
+    }
+
+    #[test]
+    fn delta_constraint_blocks_distant_index_matches() {
+        // The matching point sits at index 0 in a and index 3 in b.
+        let a = traj(&[(30.0, 120.0), (31.0, 121.0), (31.1, 121.0), (31.2, 121.0)]);
+        let b = traj(&[(32.0, 122.0), (32.1, 122.0), (32.2, 122.0), (30.0, 120.0)]);
+        assert_eq!(lcss_length(&a, &b, 10.0, None), 1);
+        assert_eq!(lcss_length(&a, &b, 10.0, Some(1)), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let a = traj(&[(30.0, 120.0), (30.005, 120.0), (30.01, 120.0)]);
+        let b = traj(&[(30.0, 120.001), (30.01, 120.001)]);
+        let d1 = lcss_distance(&a, &b, 200.0);
+        let d2 = lcss_distance(&b, &a, 200.0);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e = traj(&[]);
+        let t = traj(&[(30.0, 120.0)]);
+        assert_eq!(lcss_distance(&e, &e, 10.0), 0.0);
+        assert_eq!(lcss_distance(&e, &t, 10.0), 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # traj-dist — classical trajectory distance metrics
+//!
+//! The raw-trajectory distance functions the E²DTC paper compares against
+//! (§I, §VII-A): point-based [`edr`] and [`lcss`], warping-based [`dtw`],
+//! and shape-based [`hausdorff`] — plus a rayon-parallel
+//! [`matrix::DistanceMatrix`] for the O(n²) pairwise computation the
+//! K-Medoids baselines require.
+//!
+//! All metrics use a fast city-scale equirectangular approximation of
+//! geodesic distance between GPS points (validated against haversine in
+//! `traj-data`).
+
+#![warn(missing_docs)]
+
+pub mod dtw;
+pub mod edr;
+pub mod erp;
+pub mod frechet;
+pub mod hausdorff;
+pub mod lcss;
+pub mod matrix;
+pub mod metric;
+
+pub use matrix::DistanceMatrix;
+pub use metric::Metric;

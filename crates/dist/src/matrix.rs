@@ -1,0 +1,133 @@
+//! Pairwise distance matrices, computed in parallel with rayon.
+//!
+//! The paper's classic baselines (EDR/LCSS/DTW/Hausdorff + K-Medoids) all
+//! need the full O(n²) pairwise matrix; this is also the dominant cost the
+//! Fig. 3 scalability experiment measures for them.
+
+use crate::metric::Metric;
+use rayon::prelude::*;
+use traj_data::Trajectory;
+
+/// A symmetric `n × n` distance matrix stored densely row-major.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise distances under `metric`, parallelizing over
+    /// rows.
+    pub fn compute(trajectories: &[Trajectory], metric: &Metric) -> Self {
+        let n = trajectories.len();
+        // Parallelize the upper triangle by row; each row i computes
+        // d(i, j) for j > i.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                (i + 1..n).map(|j| metric.distance(&trajectories[i], &trajectories[j])).collect()
+            })
+            .collect();
+        let mut data = vec![0.0f64; n * n];
+        for (i, row) in rows.into_iter().enumerate() {
+            for (off, d) in row.into_iter().enumerate() {
+                let j = i + 1 + off;
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Builds a matrix from a precomputed dense buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    pub fn from_dense(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "dense buffer must be n²");
+        Self { n, data }
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the 0×0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Flat row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Index of the item with the minimum total distance to all others
+    /// (the 1-medoid). `None` for an empty matrix.
+    pub fn medoid(&self) -> Option<usize> {
+        (0..self.n).min_by(|&a, &b| {
+            let sa: f64 = self.row(a).iter().sum();
+            let sb: f64 = self.row(b).iter().sum();
+            sa.total_cmp(&sb)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::GpsPoint;
+
+    fn traj(id: u64, lat: f64) -> Trajectory {
+        Trajectory::new(
+            id,
+            (0..3).map(|i| GpsPoint::new(lat, 120.0 + i as f64 * 1e-3, i as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let ts = vec![traj(0, 30.0), traj(1, 30.01), traj(2, 30.05)];
+        let m = DistanceMatrix::compute(&ts, &Metric::Dtw);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn distances_order_by_spatial_separation() {
+        let ts = vec![traj(0, 30.0), traj(1, 30.01), traj(2, 30.5)];
+        let m = DistanceMatrix::compute(&ts, &Metric::Hausdorff);
+        assert!(m.get(0, 1) < m.get(0, 2));
+    }
+
+    #[test]
+    fn medoid_is_most_central() {
+        let ts = vec![traj(0, 30.0), traj(1, 30.02), traj(2, 30.04)];
+        let m = DistanceMatrix::compute(&ts, &Metric::Dtw);
+        assert_eq!(m.medoid(), Some(1));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DistanceMatrix::compute(&[], &Metric::Dtw);
+        assert!(m.is_empty());
+        assert_eq!(m.medoid(), None);
+    }
+}

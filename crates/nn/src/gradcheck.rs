@@ -1,0 +1,122 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op and layer in this crate is validated against central finite
+//! differences (see `tests/gradient_checks.rs`). The checker perturbs each
+//! scalar of each parameter, rebuilds the forward pass, and compares the
+//! numeric slope against the analytic gradient from [`Tape::backward`].
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+
+/// Result of a gradient check for one parameter.
+#[derive(Clone, Debug)]
+pub struct GradCheckReport {
+    /// Parameter that was checked.
+    pub id: ParamId,
+    /// Worst relative error across all scalars of the parameter.
+    pub max_rel_err: f32,
+    /// Flat index of the worst scalar.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst scalar.
+    pub analytic: f32,
+    /// Numeric gradient at the worst scalar.
+    pub numeric: f32,
+}
+
+/// Checks the analytic gradients of `build` (a closure that constructs the
+/// forward pass on a fresh tape and returns the scalar loss node) against
+/// central finite differences, for every parameter in `store`.
+///
+/// Returns one report per parameter. A typical tolerance for `f32` with
+/// `eps = 1e-2`-ish smooth losses is `max_rel_err < 1e-2`.
+pub fn gradient_check(
+    store: &mut ParamStore,
+    eps: f32,
+    mut build: impl FnMut(&mut Tape, &ParamStore) -> Var,
+) -> Vec<GradCheckReport> {
+    // Analytic pass.
+    store.zero_grads();
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, store);
+    tape.backward(loss, store);
+    let analytic: Vec<Vec<f32>> =
+        store.ids().map(|id| store.grad(id).data().to_vec()).collect();
+
+    let mut eval = |tape_store: &ParamStore| -> f32 {
+        let mut t = Tape::new();
+        let l = build_loss(&mut t, tape_store, &mut build);
+        t.value(l).get(0, 0)
+    };
+
+    let mut reports = Vec::new();
+    for id in store.ids().collect::<Vec<_>>() {
+        let n = store.get(id).len();
+        // Near-zero entries can't be checked in relative terms with f32
+        // arithmetic; judge them against the parameter's overall gradient
+        // scale instead.
+        let grad_scale = analytic[id.index()]
+            .iter()
+            .fold(0.0f32, |m, &g| m.max(g.abs()));
+        let floor = (0.05 * grad_scale).max(1e-4);
+        let mut max_rel_err = 0.0f32;
+        let mut worst = (0usize, 0.0f32, 0.0f32);
+        for i in 0..n {
+            let orig = store.get(id).data()[i];
+            store.get_mut(id).data_mut()[i] = orig + eps;
+            let up = eval(store);
+            store.get_mut(id).data_mut()[i] = orig - eps;
+            let down = eval(store);
+            store.get_mut(id).data_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[id.index()][i];
+            let denom = a.abs().max(numeric.abs()).max(floor);
+            let rel = (a - numeric).abs() / denom;
+            if rel > max_rel_err {
+                max_rel_err = rel;
+                worst = (i, a, numeric);
+            }
+        }
+        reports.push(GradCheckReport {
+            id,
+            max_rel_err,
+            worst_index: worst.0,
+            analytic: worst.1,
+            numeric: worst.2,
+        });
+    }
+    reports
+}
+
+fn build_loss(
+    tape: &mut Tape,
+    store: &ParamStore,
+    build: &mut impl FnMut(&mut Tape, &ParamStore) -> Var,
+) -> Var {
+    build(tape, store)
+}
+
+/// Asserts that every parameter's gradient check passes the tolerance.
+///
+/// # Panics
+/// Panics (with the offending parameter's report) on failure.
+pub fn assert_grads_close(
+    store: &mut ParamStore,
+    eps: f32,
+    tol: f32,
+    build: impl FnMut(&mut Tape, &ParamStore) -> Var,
+) {
+    let reports = gradient_check(store, eps, build);
+    for r in reports {
+        assert!(
+            r.max_rel_err < tol,
+            "gradient check failed for param {} ({}): rel err {} at index {} \
+             (analytic {}, numeric {})",
+            r.id.index(),
+            store.name(r.id),
+            r.max_rel_err,
+            r.worst_index,
+            r.analytic,
+            r.numeric,
+        );
+    }
+}

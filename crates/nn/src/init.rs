@@ -1,0 +1,86 @@
+//! Weight-initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Initialization scheme for a parameter tensor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// All zeros (typical for biases).
+    Zeros,
+    /// All elements equal to the given constant.
+    Constant(f32),
+    /// Uniform in `[-a, a]`.
+    Uniform(f32),
+    /// Xavier/Glorot uniform: `U(-sqrt(6/(fan_in+fan_out)), +sqrt(..))`.
+    XavierUniform,
+    /// Gaussian with the given standard deviation (Box–Muller).
+    Normal(f32),
+}
+
+impl Init {
+    /// Materializes a `(rows, cols)` tensor drawn from this scheme.
+    pub fn tensor(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+        let n = rows * cols;
+        let data = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::Constant(c) => vec![c; n],
+            Init::Uniform(a) => (0..n).map(|_| rng.gen_range(-a..=a)).collect(),
+            Init::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Init::Normal(std) => (0..n).map(|_| normal_sample(rng) * std).collect(),
+        };
+        Tensor::from_vec(rows, cols, data)
+    }
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+///
+/// Hand-rolled to avoid pulling in `rand_distr` for a single distribution.
+pub fn normal_sample(rng: &mut impl Rng) -> f32 {
+    // Guard u1 away from 0 so ln() is finite.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Init::Zeros.tensor(2, 2, &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Constant(1.5).tensor(2, 2, &mut rng).data().iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Init::XavierUniform.tensor(10, 10, &mut rng);
+        let a = (6.0 / 20.0_f32).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn normal_sample_statistics_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f32> = (0..20_000).map(|_| normal_sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var =
+            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / samples.len() as f32;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn normal_samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..10_000).all(|_| normal_sample(&mut rng).is_finite()));
+    }
+}

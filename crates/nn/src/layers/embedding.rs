@@ -1,0 +1,109 @@
+//! Token-embedding lookup table.
+
+use crate::init::Init;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A `(vocab, dim)` trainable lookup table mapping token ids to rows.
+#[derive(Clone, Copy, Debug)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a new randomly-initialized embedding table.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table =
+            store.add_init(format!("{name}.table"), vocab, dim, Init::Normal(0.1), rng);
+        Self { table, vocab, dim }
+    }
+
+    /// Registers an embedding with pre-trained weights (e.g. the skip-gram
+    /// cell vectors from the paper's trajectory-embedding phase).
+    pub fn from_pretrained(store: &mut ParamStore, name: &str, weights: Tensor) -> Self {
+        let (vocab, dim) = weights.shape();
+        let table = store.add(format!("{name}.table"), weights);
+        Self { table, vocab, dim }
+    }
+
+    /// Looks up a batch of token ids, producing `(ids.len(), dim)`.
+    ///
+    /// # Panics
+    /// Panics if an id is out of vocabulary range.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> Var {
+        assert!(
+            ids.iter().all(|&i| i < self.vocab),
+            "token id out of range (vocab = {})",
+            self.vocab
+        );
+        let table = tape.param(store, self.table);
+        tape.gather_rows(table, ids)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Handle of the underlying table parameter.
+    pub fn table(&self) -> ParamId {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let mut store = ParamStore::new();
+        let table = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let emb = Embedding::from_pretrained(&mut store, "emb", table);
+        let mut tape = Tape::new();
+        let out = emb.forward(&mut tape, &store, &[2, 0]);
+        assert_eq!(tape.value(out).data(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_flows_only_into_looked_up_rows() {
+        let mut store = ParamStore::new();
+        let table = Tensor::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let emb = Embedding::from_pretrained(&mut store, "emb", table);
+        let mut tape = Tape::new();
+        let out = emb.forward(&mut tape, &store, &[1, 1]);
+        let loss = tape.sum_all(out);
+        tape.backward(loss, &mut store);
+        let g = store.grad(emb.table());
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[2.0, 2.0]); // looked up twice
+        assert_eq!(g.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_vocab_id_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "emb", 4, 2, &mut rng);
+        let mut tape = Tape::new();
+        let _ = emb.forward(&mut tape, &store, &[4]);
+    }
+}

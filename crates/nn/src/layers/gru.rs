@@ -1,0 +1,331 @@
+//! Gated Recurrent Unit layers.
+//!
+//! The paper's encoder/decoder use a 3-layer GRU ("because it has a better
+//! embedding performance compared with the LSTM network", §VII-B). We
+//! implement the standard GRU cell
+//!
+//! ```text
+//! r_t = σ(x_t W_xr + h_{t-1} W_hr + b_r)
+//! z_t = σ(x_t W_xz + h_{t-1} W_hz + b_z)
+//! n_t = tanh(x_t W_xn + b_xn + r_t ⊙ (h_{t-1} W_hn + b_hn))
+//! h_t = (1 − z_t) ⊙ n_t + z_t ⊙ h_{t-1}
+//! ```
+//!
+//! composed from the primitive tape ops, so the whole recurrence is
+//! differentiated automatically through time (BPTT).
+
+use crate::init::Init;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// One GRU cell (a single layer's recurrence step).
+#[derive(Clone, Copy, Debug)]
+pub struct GruCell {
+    w_xr: ParamId,
+    w_hr: ParamId,
+    b_r: ParamId,
+    w_xz: ParamId,
+    w_hz: ParamId,
+    b_z: ParamId,
+    w_xn: ParamId,
+    b_xn: ParamId,
+    w_hn: ParamId,
+    b_hn: ParamId,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Registers a GRU cell's ten parameter tensors.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let xavier = Init::XavierUniform;
+        let w_xr = store.add_init(format!("{name}.w_xr"), input_dim, hidden_dim, xavier, rng);
+        let w_hr = store.add_init(format!("{name}.w_hr"), hidden_dim, hidden_dim, xavier, rng);
+        let w_xz = store.add_init(format!("{name}.w_xz"), input_dim, hidden_dim, xavier, rng);
+        let w_hz = store.add_init(format!("{name}.w_hz"), hidden_dim, hidden_dim, xavier, rng);
+        let w_xn = store.add_init(format!("{name}.w_xn"), input_dim, hidden_dim, xavier, rng);
+        let w_hn = store.add_init(format!("{name}.w_hn"), hidden_dim, hidden_dim, xavier, rng);
+        let b_r = store.add_init(format!("{name}.b_r"), 1, hidden_dim, Init::Zeros, rng);
+        let b_z = store.add_init(format!("{name}.b_z"), 1, hidden_dim, Init::Zeros, rng);
+        let b_xn = store.add_init(format!("{name}.b_xn"), 1, hidden_dim, Init::Zeros, rng);
+        let b_hn = store.add_init(format!("{name}.b_hn"), 1, hidden_dim, Init::Zeros, rng);
+        Self { w_xr, w_hr, b_r, w_xz, w_hz, b_z, w_xn, b_xn, w_hn, b_hn, input_dim, hidden_dim }
+    }
+
+    /// One recurrence step: `(x: (batch, input), h: (batch, hidden)) -> h'`.
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
+        debug_assert_eq!(tape.value(x).cols(), self.input_dim, "GRU input width mismatch");
+        debug_assert_eq!(tape.value(h).cols(), self.hidden_dim, "GRU hidden width mismatch");
+
+        let gate = |tape: &mut Tape, wx: ParamId, wh: ParamId, b: ParamId| {
+            let wxv = tape.param(store, wx);
+            let whv = tape.param(store, wh);
+            let bv = tape.param(store, b);
+            let xs = tape.matmul(x, wxv);
+            let hs = tape.matmul(h, whv);
+            let sum = tape.add(xs, hs);
+            tape.add_row_broadcast(sum, bv)
+        };
+
+        let r_pre = gate(tape, self.w_xr, self.w_hr, self.b_r);
+        let r = tape.sigmoid(r_pre);
+        let z_pre = gate(tape, self.w_xz, self.w_hz, self.b_z);
+        let z = tape.sigmoid(z_pre);
+
+        // candidate: tanh(x W_xn + b_xn + r ⊙ (h W_hn + b_hn))
+        let w_xn = tape.param(store, self.w_xn);
+        let b_xn = tape.param(store, self.b_xn);
+        let w_hn = tape.param(store, self.w_hn);
+        let b_hn = tape.param(store, self.b_hn);
+        let xn = tape.matmul(x, w_xn);
+        let xn = tape.add_row_broadcast(xn, b_xn);
+        let hn = tape.matmul(h, w_hn);
+        let hn = tape.add_row_broadcast(hn, b_hn);
+        let rh = tape.hadamard(r, hn);
+        let n_pre = tape.add(xn, rh);
+        let n = tape.tanh(n_pre);
+
+        // h' = (1 - z) ⊙ n + z ⊙ h
+        let one_minus_z = tape.one_minus(z);
+        let a = tape.hadamard(one_minus_z, n);
+        let b = tape.hadamard(z, h);
+        tape.add(a, b)
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+/// A stack of GRU cells (the paper uses 3 layers).
+#[derive(Clone, Debug)]
+pub struct Gru {
+    cells: Vec<GruCell>,
+    dropout: f32,
+}
+
+impl Gru {
+    /// Registers a multi-layer GRU. Layer 0 consumes `input_dim`, deeper
+    /// layers consume the previous layer's hidden state.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        layers: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(layers >= 1, "GRU needs at least one layer");
+        let cells = (0..layers)
+            .map(|l| {
+                let in_dim = if l == 0 { input_dim } else { hidden_dim };
+                GruCell::new(store, &format!("{name}.layer{l}"), in_dim, hidden_dim, rng)
+            })
+            .collect();
+        Self { cells, dropout: 0.0 }
+    }
+
+    /// Enables inter-layer inverted dropout during training-mode forwards.
+    pub fn with_dropout(mut self, p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        self.dropout = p;
+        self
+    }
+
+    /// Number of stacked layers.
+    pub fn layers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.cells[0].hidden_dim()
+    }
+
+    /// Zero initial hidden states (one per layer) for a batch.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Vec<Var> {
+        self.cells
+            .iter()
+            .map(|c| tape.constant(Tensor::zeros(batch, c.hidden_dim())))
+            .collect()
+    }
+
+    /// One step through the full stack. `state` holds one hidden Var per
+    /// layer and is updated in place; returns the top layer's new hidden.
+    ///
+    /// When `train` is set and dropout is enabled, inverted dropout is
+    /// applied between layers (never to the recurrent state itself).
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        state: &mut [Var],
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Var {
+        assert_eq!(state.len(), self.cells.len(), "state/layer count mismatch");
+        let mut input = x;
+        for (l, cell) in self.cells.iter().enumerate() {
+            let h_new = cell.step(tape, store, input, state[l]);
+            state[l] = h_new;
+            input = h_new;
+            if train && self.dropout > 0.0 && l + 1 < self.cells.len() {
+                let keep = 1.0 - self.dropout;
+                let v = tape.value(input);
+                let (r, c) = v.shape();
+                let mask = Tensor::from_vec(
+                    r,
+                    c,
+                    (0..r * c)
+                        .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                        .collect(),
+                );
+                input = tape.mask_mul(input, mask);
+            }
+        }
+        input
+    }
+
+    /// Like [`Gru::step`], but only updates the hidden state of *active*
+    /// batch rows: `mask` is a `(batch, hidden)` tensor whose rows are all
+    /// 1.0 for active sequences and all 0.0 for sequences that have already
+    /// ended (padding). Ended rows carry their previous hidden state
+    /// forward unchanged, so variable-length sequences can share a batch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_masked(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        state: &mut [Var],
+        mask: &Tensor,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let old_state: Vec<Var> = state.to_vec();
+        let top = self.step(tape, store, x, state, train, rng);
+        let inv = mask.map(|m| 1.0 - m);
+        for (l, old) in old_state.into_iter().enumerate() {
+            let kept_new = tape.mask_mul(state[l], mask.clone());
+            let kept_old = tape.mask_mul(old, inv.clone());
+            state[l] = tape.add(kept_new, kept_old);
+        }
+        let _ = top;
+        state[self.cells.len() - 1]
+    }
+
+    /// Runs a full sequence of pre-embedded inputs (`seq[t]` is the
+    /// `(batch, input)` Var at time t); returns the top-layer hidden at each
+    /// step and leaves `state` at the final hidden states.
+    pub fn run(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        seq: &[Var],
+        state: &mut [Var],
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Vec<Var> {
+        seq.iter().map(|&x| self.step(tape, store, x, state, train, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_preserves_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 4, 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(3, 4));
+        let mut state = gru.zero_state(&mut tape, 3);
+        let h = gru.step(&mut tape, &store, x, &mut state, false, &mut rng);
+        assert_eq!(tape.value(h).shape(), (3, 8));
+        assert_eq!(state.len(), 2);
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_zero_candidate_mix() {
+        // With zero input, zero state, and zero biases, n = tanh(0) = 0 and
+        // h' = (1-z)*0 + z*0 = 0 regardless of the weights.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "cell", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(1, 2));
+        let h = tape.constant(Tensor::zeros(1, 3));
+        let h2 = cell.step(&mut tape, &store, x, h);
+        assert!(tape.value(h2).data().iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn hidden_state_is_bounded_by_one() {
+        // h_t is a convex combination of tanh outputs and previous h, so
+        // starting from zero state all activations stay in (-1, 1).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 3, 5, 3, &mut rng);
+        let mut tape = Tape::new();
+        let mut state = gru.zero_state(&mut tape, 2);
+        let mut last = None;
+        for t in 0..10 {
+            let x = tape.constant(Tensor::full(2, 3, (t as f32).sin() * 3.0));
+            last = Some(gru.step(&mut tape, &store, x, &mut state, false, &mut rng));
+        }
+        let h = tape.value(last.expect("ran steps"));
+        assert!(h.data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gradients_flow_through_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 2, 4, 1, &mut rng);
+        let mut tape = Tape::new();
+        let seq: Vec<Var> = (0..5)
+            .map(|t| tape.constant(Tensor::full(1, 2, 0.3 * (t as f32 + 1.0))))
+            .collect();
+        let mut state = gru.zero_state(&mut tape, 1);
+        let outs = gru.run(&mut tape, &store, &seq, &mut state, false, &mut rng);
+        let last = *outs.last().expect("non-empty");
+        let loss = tape.mean_all(last);
+        tape.backward(loss, &mut store);
+        let total: f32 = store.ids().map(|id| store.grad(id).norm()).sum();
+        assert!(total > 0.0, "no gradient reached the GRU parameters");
+    }
+
+    #[test]
+    fn dropout_masks_apply_only_in_train_mode() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 2, 4, 2, &mut rng).with_dropout(0.9);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::full(1, 2, 1.0));
+        // Eval mode: two identical calls produce identical outputs.
+        let mut s1 = gru.zero_state(&mut tape, 1);
+        let h1 = gru.step(&mut tape, &store, x, &mut s1, false, &mut rng);
+        let mut s2 = gru.zero_state(&mut tape, 1);
+        let h2 = gru.step(&mut tape, &store, x, &mut s2, false, &mut rng);
+        assert_eq!(tape.value(h1).data(), tape.value(h2).data());
+    }
+}

@@ -1,0 +1,786 @@
+//! Reverse-mode automatic differentiation on a tape of 2-D tensors.
+//!
+//! A [`Tape`] records a dynamic computation graph: every operation appends a
+//! node holding its forward value and an op descriptor naming its inputs.
+//! [`Tape::backward`] walks the nodes in reverse, accumulating gradients, and
+//! finally scatters gradients of parameter nodes back into the
+//! [`ParamStore`]. A fresh tape is built per mini-batch; parameters persist
+//! in the store across batches.
+//!
+//! Ops are a closed enum (rather than boxed closures) so the backward pass
+//! is a single exhaustive `match` — easy to audit and to test op-by-op with
+//! finite differences (see `crate::gradcheck`).
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// One recorded operation. Inputs are earlier tape nodes.
+enum Op {
+    /// Constant input; no gradient flows into it.
+    Constant,
+    /// Trainable parameter; gradient is scattered into the store.
+    Param(ParamId),
+    /// `a @ b`
+    MatMul(Var, Var),
+    /// `a + b` (same shape)
+    Add(Var, Var),
+    /// `a - b` (same shape)
+    Sub(Var, Var),
+    /// matrix + row-vector broadcast over rows
+    AddRowBroadcast(Var, Var),
+    /// element-wise product
+    Hadamard(Var, Var),
+    /// `mul * a + add` element-wise
+    Affine { a: Var, mul: f32 },
+    /// logistic sigmoid
+    Sigmoid(Var),
+    /// hyperbolic tangent
+    Tanh(Var),
+    /// `[a | b]` horizontal concatenation
+    ConcatCols { a: Var, b: Var, split: usize },
+    /// row gather (embedding lookup)
+    GatherRows { table: Var, indices: Vec<usize> },
+    /// mean over all elements, producing `(1, 1)`
+    MeanAll(Var),
+    /// sum over all elements, producing `(1, 1)`
+    SumAll(Var),
+    /// element-wise product with a fixed mask (dropout: mask already scaled)
+    MaskMul { a: Var, mask: Tensor },
+    /// row-wise sum: `(r, c) -> (r, 1)`
+    RowSum(Var),
+    /// row-wise softmax (differentiable; the fused NLL below is preferred
+    /// for classification losses)
+    Softmax(Var),
+    /// broadcast multiply of a matrix by a `(r, 1)` column vector
+    ColBroadcastMul { m: Var, col: Var },
+    /// column slice `[start, end)`
+    SliceCols { a: Var, start: usize, end: usize },
+    /// Spatial-proximity-aware softmax NLL (paper Eq. 8). For each row of
+    /// `logits`, `targets[row]` is a sparse distribution over columns
+    /// (the kNN cell weights `w`). Loss = mean over rows of
+    /// `-Σ_j w_j · log softmax(logits)_j`. `probs` caches the forward
+    /// softmax for the backward pass.
+    WeightedSoftmaxNll { logits: Var, targets: Vec<Vec<(usize, f32)>>, probs: Tensor },
+    /// DEC clustering loss `KL(P ‖ Q)` with Student-t soft assignment
+    /// (paper Eqs. 9–11). Differentiable w.r.t. both the embeddings `v`
+    /// (n × d) and the centroids `c` (k × d). `q` caches the forward
+    /// soft assignment.
+    DecKl { v: Var, c: Var, p: Tensor, q: Tensor },
+    /// Triplet margin loss (paper Eq. 13) over row-aligned anchor /
+    /// positive / negative matrices; mean over rows.
+    Triplet { anchor: Var, positive: Var, negative: Var, active: Vec<bool> },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A dynamic reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// One node per parameter per tape, so a parameter used in many ops
+    /// (e.g. the decoder projection at each timestep) is cloned only once.
+    param_nodes: HashMap<ParamId, Var>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(!value.has_non_finite(), "non-finite forward value");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Records a constant (non-trainable) input.
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Constant)
+    }
+
+    /// Records (or reuses) a parameter node.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        if let Some(&v) = self.param_nodes.get(&id) {
+            return v;
+        }
+        let v = self.push(store.get(id).clone(), Op::Param(id));
+        self.param_nodes.insert(id, v);
+        v
+    }
+
+    /// `a @ b`
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// `a + b` (same shape)
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// `a - b` (same shape)
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Adds a `(1, cols)` row vector to every row of `m`.
+    pub fn add_row_broadcast(&mut self, m: Var, row: Var) -> Var {
+        let value = self.value(m).add_row_broadcast(self.value(row));
+        self.push(value, Op::AddRowBroadcast(m, row))
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(value, Op::Hadamard(a, b))
+    }
+
+    /// `mul * a + add`, element-wise.
+    pub fn affine(&mut self, a: Var, mul: f32, add: f32) -> Var {
+        let value = self.value(a).map(|x| mul * x + add);
+        self.push(value, Op::Affine { a, mul })
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        self.affine(a, s, 0.0)
+    }
+
+    /// `1 - a`, element-wise (used by the GRU update gate).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        self.affine(a, -1.0, 1.0)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// `[a | b]` column concatenation.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let split = self.value(a).cols();
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(value, Op::ConcatCols { a, b, split })
+    }
+
+    /// Row gather (embedding lookup): output row `i` is `table` row
+    /// `indices[i]`.
+    pub fn gather_rows(&mut self, table: Var, indices: &[usize]) -> Var {
+        let value = self.value(table).gather_rows(indices);
+        self.push(value, Op::GatherRows { table, indices: indices.to_vec() })
+    }
+
+    /// Mean over all elements, producing a `(1, 1)` scalar node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Sum over all elements, producing a `(1, 1)` scalar node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Element-wise multiply by a fixed (non-differentiable) mask.
+    ///
+    /// For inverted dropout pass a 0/`1/keep_prob` mask.
+    pub fn mask_mul(&mut self, a: Var, mask: Tensor) -> Var {
+        let value = self.value(a).hadamard(&mask);
+        self.push(value, Op::MaskMul { a, mask })
+    }
+
+    /// Row-wise sum, producing a `(rows, 1)` column vector.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let src = self.value(a);
+        let data: Vec<f32> = (0..src.rows()).map(|r| src.row(r).iter().sum()).collect();
+        let value = Tensor::from_vec(src.rows(), 1, data);
+        self.push(value, Op::RowSum(a))
+    }
+
+    /// Row-wise softmax (differentiable).
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let value = self.value(a).softmax_rows();
+        self.push(value, Op::Softmax(a))
+    }
+
+    /// Broadcast multiply: each row of `m` scaled by the matching entry of
+    /// the `(rows, 1)` column vector `col`.
+    pub fn col_broadcast_mul(&mut self, m: Var, col: Var) -> Var {
+        let mv = self.value(m);
+        let cv = self.value(col);
+        assert_eq!(cv.cols(), 1, "broadcast operand must be a column vector");
+        assert_eq!(cv.rows(), mv.rows(), "broadcast height mismatch");
+        let mut out = mv.clone();
+        for r in 0..out.rows() {
+            let s = cv.get(r, 0);
+            for x in out.row_mut(r) {
+                *x *= s;
+            }
+        }
+        self.push(out, Op::ColBroadcastMul { m, col })
+    }
+
+    /// Column slice `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range or empty slice.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let src = self.value(a);
+        assert!(start < end && end <= src.cols(), "invalid column slice {start}..{end}");
+        let mut out = Tensor::zeros(src.rows(), end - start);
+        for r in 0..src.rows() {
+            out.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+        }
+        self.push(out, Op::SliceCols { a, start, end })
+    }
+
+    /// Spatial-proximity-aware softmax NLL (paper Eq. 8).
+    ///
+    /// `targets` holds, per row of `logits`, the sparse cell-weight
+    /// distribution `w` over vocabulary columns (the kNN weights of the
+    /// ground-truth cell). Each row's weights should sum to 1; the backward
+    /// pass then reduces to `softmax(logits) − w`, matching standard
+    /// cross-entropy when `w` is one-hot (the α→0 limit in the paper).
+    ///
+    /// Rows with an *empty* target list are padding: they contribute
+    /// neither loss nor gradient, and the mean is taken over active rows
+    /// only.
+    pub fn weighted_softmax_nll(&mut self, logits: Var, targets: Vec<Vec<(usize, f32)>>) -> Var {
+        let l = self.value(logits);
+        assert_eq!(l.rows(), targets.len(), "one target distribution per logit row");
+        let probs = l.softmax_rows();
+        let mut loss = 0.0;
+        let mut active = 0usize;
+        for (r, tgt) in targets.iter().enumerate() {
+            if tgt.is_empty() {
+                continue;
+            }
+            active += 1;
+            let p = probs.row(r);
+            for &(j, w) in tgt {
+                // Clamp to avoid -inf when a kNN weight lands on a ~0 prob.
+                loss -= w * p[j].max(1e-12).ln();
+            }
+        }
+        let n = active.max(1) as f32;
+        let value = Tensor::from_vec(1, 1, vec![loss / n]);
+        self.push(value, Op::WeightedSoftmaxNll { logits, targets, probs })
+    }
+
+    /// DEC clustering loss `L_c = KL(P ‖ Q)` (paper Eqs. 9–11).
+    ///
+    /// `v` is the `(n, d)` embedding matrix, `c` the `(k, d)` centroid
+    /// matrix, and `p` the fixed `(n, k)` target distribution (computed from
+    /// a detached `Q` via [`target_distribution`]). Returns the scalar loss;
+    /// the forward soft assignment is retrievable with [`Tape::dec_q`].
+    pub fn dec_kl(&mut self, v: Var, c: Var, p: Tensor) -> Var {
+        let q = student_t_assignment(self.value(v), self.value(c));
+        assert_eq!(p.shape(), q.shape(), "P/Q shape mismatch");
+        let mut loss = 0.0;
+        for (pi, qi) in p.data().iter().zip(q.data()) {
+            if *pi > 0.0 {
+                loss += pi * (pi / qi.max(1e-12)).ln();
+            }
+        }
+        let value = Tensor::from_vec(1, 1, vec![loss]);
+        self.push(value, Op::DecKl { v, c, p, q })
+    }
+
+    /// The cached soft assignment `Q` of a [`Tape::dec_kl`] node.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a `dec_kl` node.
+    pub fn dec_q(&self, node: Var) -> &Tensor {
+        match &self.nodes[node.0].op {
+            Op::DecKl { q, .. } => q,
+            _ => panic!("dec_q called on a non-DecKl node"),
+        }
+    }
+
+    /// Triplet margin loss (paper Eq. 13), mean over row-aligned triplets:
+    /// `mean_i [ ‖a_i − p_i‖² − ‖a_i − n_i‖² + margin ]₊`.
+    pub fn triplet(&mut self, anchor: Var, positive: Var, negative: Var, margin: f32) -> Var {
+        let a = self.value(anchor);
+        let p = self.value(positive);
+        let n = self.value(negative);
+        assert_eq!(a.shape(), p.shape(), "triplet shape mismatch");
+        assert_eq!(a.shape(), n.shape(), "triplet shape mismatch");
+        let rows = a.rows();
+        let mut active = vec![false; rows];
+        let mut loss = 0.0;
+        for i in 0..rows {
+            let dap = a.row_sq_dist(i, p, i);
+            let dan = a.row_sq_dist(i, n, i);
+            let l = dap - dan + margin;
+            if l > 0.0 {
+                active[i] = true;
+                loss += l;
+            }
+        }
+        let value = Tensor::from_vec(1, 1, vec![loss / rows.max(1) as f32]);
+        self.push(value, Op::Triplet { anchor, positive, negative, active })
+    }
+
+    /// Reverse pass from a scalar `(1, 1)` loss node.
+    ///
+    /// Accumulates parameter gradients into `store` (adding to whatever is
+    /// already there, so several losses/batches can be accumulated before an
+    /// optimizer step).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not scalar-shaped.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward expects a scalar loss");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            // Split borrows: the node being differentiated vs. the gradient
+            // slots of its (strictly earlier) inputs.
+            let node = &self.nodes[idx];
+            match &node.op {
+                Op::Constant => {}
+                Op::Param(id) => store.grad_mut(*id).add_assign(&g),
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_nt(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_tn(&g);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *b, g.scale(-1.0));
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::AddRowBroadcast(m, row) => {
+                    accumulate(&mut grads, *row, g.sum_rows());
+                    accumulate(&mut grads, *m, g);
+                }
+                Op::Hadamard(a, b) => {
+                    let ga = g.hadamard(&self.nodes[b.0].value);
+                    let gb = g.hadamard(&self.nodes[a.0].value);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Affine { a, mul, .. } => {
+                    accumulate(&mut grads, *a, g.scale(*mul));
+                }
+                Op::Sigmoid(a) => {
+                    // y' = y(1-y)
+                    let y = &node.value;
+                    let ga = g.hadamard(&y.map(|v| v * (1.0 - v)));
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Tanh(a) => {
+                    // y' = 1 - y^2
+                    let y = &node.value;
+                    let ga = g.hadamard(&y.map(|v| 1.0 - v * v));
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ConcatCols { a, b, split } => {
+                    let rows = g.rows();
+                    let cols_a = *split;
+                    let cols_b = g.cols() - cols_a;
+                    let mut ga = Tensor::zeros(rows, cols_a);
+                    let mut gb = Tensor::zeros(rows, cols_b);
+                    for r in 0..rows {
+                        let src = g.row(r);
+                        ga.row_mut(r).copy_from_slice(&src[..cols_a]);
+                        gb.row_mut(r).copy_from_slice(&src[cols_a..]);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::GatherRows { table, indices } => {
+                    let t = &self.nodes[table.0].value;
+                    let mut gt = Tensor::zeros(t.rows(), t.cols());
+                    for (i, &idx) in indices.iter().enumerate() {
+                        let src = g.row(i);
+                        let dst = gt.row_mut(idx);
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    accumulate(&mut grads, *table, gt);
+                }
+                Op::MeanAll(a) => {
+                    let src = &self.nodes[a.0].value;
+                    let gv = g.get(0, 0) / src.len().max(1) as f32;
+                    accumulate(&mut grads, *a, Tensor::full(src.rows(), src.cols(), gv));
+                }
+                Op::SumAll(a) => {
+                    let src = &self.nodes[a.0].value;
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::full(src.rows(), src.cols(), g.get(0, 0)),
+                    );
+                }
+                Op::MaskMul { a, mask } => {
+                    accumulate(&mut grads, *a, g.hadamard(mask));
+                }
+                Op::RowSum(a) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.rows(), src.cols());
+                    for r in 0..src.rows() {
+                        let gv = g.get(r, 0);
+                        ga.row_mut(r).fill(gv);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Softmax(a) => {
+                    // dL/dx = y ⊙ (g − Σ_j g_j y_j) per row.
+                    let y = &node.value;
+                    let mut ga = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 =
+                            g.row(r).iter().zip(y.row(r)).map(|(&gi, &yi)| gi * yi).sum();
+                        for ((o, &gi), &yi) in
+                            ga.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
+                        {
+                            *o = yi * (gi - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ColBroadcastMul { m, col } => {
+                    let mv = &self.nodes[m.0].value;
+                    let cv = &self.nodes[col.0].value;
+                    // gm = g scaled per row by col; gcol = rowwise dot(g, m)
+                    let mut gm = g.clone();
+                    let mut gc = Tensor::zeros(cv.rows(), 1);
+                    for r in 0..mv.rows() {
+                        let s = cv.get(r, 0);
+                        let mut dot = 0.0;
+                        for (x, &mvx) in gm.row_mut(r).iter_mut().zip(mv.row(r)) {
+                            dot += *x * mvx;
+                            *x *= s;
+                        }
+                        gc.set(r, 0, dot);
+                    }
+                    accumulate(&mut grads, *m, gm);
+                    accumulate(&mut grads, *col, gc);
+                }
+                Op::SliceCols { a, start, end } => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Tensor::zeros(src.rows(), src.cols());
+                    for r in 0..src.rows() {
+                        ga.row_mut(r)[*start..*end].copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::WeightedSoftmaxNll { logits, targets, probs } => {
+                    // d loss / d logits = (softmax - w) / n_active for
+                    // active rows, 0 for padding rows.
+                    let active = targets.iter().filter(|t| !t.is_empty()).count();
+                    let gscale = g.get(0, 0) / active.max(1) as f32;
+                    let mut gl = Tensor::zeros(probs.rows(), probs.cols());
+                    for (r, tgt) in targets.iter().enumerate() {
+                        if tgt.is_empty() {
+                            continue;
+                        }
+                        let row = gl.row_mut(r);
+                        row.copy_from_slice(probs.row(r));
+                        for x in row.iter_mut() {
+                            *x *= gscale;
+                        }
+                        for &(j, w) in tgt {
+                            row[j] -= w * gscale;
+                        }
+                    }
+                    accumulate(&mut grads, *logits, gl);
+                }
+                Op::DecKl { v, c, p, q } => {
+                    let (gv, gc) =
+                        dec_kl_grads(&self.nodes[v.0].value, &self.nodes[c.0].value, p, q);
+                    let s = g.get(0, 0);
+                    accumulate(&mut grads, *v, gv.scale(s));
+                    accumulate(&mut grads, *c, gc.scale(s));
+                }
+                Op::Triplet { anchor, positive, negative, active, .. } => {
+                    let a = &self.nodes[anchor.0].value;
+                    let p = &self.nodes[positive.0].value;
+                    let n = &self.nodes[negative.0].value;
+                    let rows = a.rows();
+                    let scale = g.get(0, 0) / rows.max(1) as f32;
+                    let mut ga = Tensor::zeros(rows, a.cols());
+                    let mut gp = Tensor::zeros(rows, a.cols());
+                    let mut gn = Tensor::zeros(rows, a.cols());
+                    for i in 0..rows {
+                        if !active[i] {
+                            continue;
+                        }
+                        for j in 0..a.cols() {
+                            let av = a.get(i, j);
+                            let pv = p.get(i, j);
+                            let nv = n.get(i, j);
+                            // d/da (|a-p|^2 - |a-n|^2) = 2(n - p)
+                            ga.set(i, j, 2.0 * scale * (nv - pv));
+                            gp.set(i, j, -2.0 * scale * (av - pv));
+                            gn.set(i, j, 2.0 * scale * (av - nv));
+                        }
+                    }
+                    accumulate(&mut grads, *anchor, ga);
+                    accumulate(&mut grads, *positive, gp);
+                    accumulate(&mut grads, *negative, gn);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Student-t soft cluster assignment (paper Eq. 9):
+/// `q_ij = (1 + ‖v_i − c_j‖²)⁻¹ / Σ_j' (1 + ‖v_i − c_j'‖²)⁻¹`.
+pub fn student_t_assignment(v: &Tensor, c: &Tensor) -> Tensor {
+    assert_eq!(v.cols(), c.cols(), "embedding/centroid dimensionality mismatch");
+    let (n, k) = (v.rows(), c.rows());
+    let mut q = Tensor::zeros(n, k);
+    for i in 0..n {
+        let row = q.row_mut(i);
+        let mut sum = 0.0;
+        for (j, slot) in row.iter_mut().enumerate() {
+            let s = 1.0 / (1.0 + v.row_sq_dist(i, c, j));
+            *slot = s;
+            sum += s;
+        }
+        for slot in row.iter_mut() {
+            *slot /= sum;
+        }
+    }
+    q
+}
+
+/// Auxiliary target distribution (paper Eq. 10):
+/// `p_ij = (q_ij² / f_j) / Σ_j' (q_ij'² / f_j')` with `f_j = Σ_i q_ij`.
+pub fn target_distribution(q: &Tensor) -> Tensor {
+    let (n, k) = q.shape();
+    let mut freq = vec![0.0f32; k];
+    for i in 0..n {
+        for (f, &x) in freq.iter_mut().zip(q.row(i)) {
+            *f += x;
+        }
+    }
+    let mut p = Tensor::zeros(n, k);
+    for i in 0..n {
+        let src = q.row(i);
+        let dst = p.row_mut(i);
+        let mut sum = 0.0;
+        for j in 0..k {
+            let v = src[j] * src[j] / freq[j].max(1e-12);
+            dst[j] = v;
+            sum += v;
+        }
+        for d in dst.iter_mut() {
+            *d /= sum.max(1e-12);
+        }
+    }
+    p
+}
+
+/// Analytic gradients of `KL(P‖Q)` w.r.t. embeddings and centroids
+/// (Xie et al., ICML 2016, with Student-t dof α = 1):
+/// `∂L/∂v_i = 2 Σ_j (1+‖v_i−c_j‖²)⁻¹ (p_ij − q_ij)(v_i − c_j)`
+/// `∂L/∂c_j = −2 Σ_i (1+‖v_i−c_j‖²)⁻¹ (p_ij − q_ij)(v_i − c_j)`
+fn dec_kl_grads(v: &Tensor, c: &Tensor, p: &Tensor, q: &Tensor) -> (Tensor, Tensor) {
+    let (n, d) = v.shape();
+    let k = c.rows();
+    let mut gv = Tensor::zeros(n, d);
+    let mut gc = Tensor::zeros(k, d);
+    for i in 0..n {
+        for j in 0..k {
+            let s = 1.0 / (1.0 + v.row_sq_dist(i, c, j));
+            let coef = 2.0 * s * (p.get(i, j) - q.get(i, j));
+            for t in 0..d {
+                let diff = v.get(i, t) - c.get(j, t);
+                *gv.row_mut(i).get_mut(t).expect("in range") += coef * diff;
+                *gc.row_mut(j).get_mut(t).expect("in range") -= coef * diff;
+            }
+        }
+    }
+    (gv, gc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(t: &Tensor) -> f32 {
+        t.get(0, 0)
+    }
+
+    #[test]
+    fn constant_forward_value_is_preserved() {
+        let mut tape = Tape::new();
+        let c = tape.constant(Tensor::row_vector(vec![1.0, 2.0]));
+        assert_eq!(tape.value(c).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn param_nodes_are_deduplicated() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(1, 1));
+        let mut tape = Tape::new();
+        let a = tape.param(&store, id);
+        let b = tape.param(&store, id);
+        assert_eq!(a, b);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn backward_linear_chain_matches_hand_gradient() {
+        // loss = mean( (x @ w) * 3 + 1 ), x = [1, 2], w = [[2], [3]]
+        // pre-affine y = 8, loss = 25; dloss/dw = 3 * x^T = [3, 6]^T
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[vec![2.0], vec![3.0]]));
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::row_vector(vec![1.0, 2.0]));
+        let wv = tape.param(&store, w);
+        let y = tape.matmul(x, wv);
+        let z = tape.affine(y, 3.0, 1.0);
+        let loss = tape.mean_all(z);
+        assert!((scalar(tape.value(loss)) - 25.0).abs() < 1e-5);
+        tape.backward(loss, &mut store);
+        assert!((store.grad(w).get(0, 0) - 3.0).abs() < 1e-5);
+        assert!((store.grad(w).get(1, 0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_accumulates_across_reused_param() {
+        // loss = sum(w + w) => dloss/dw = 2 everywhere
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[vec![1.0, 1.0]]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let s = tape.add(wv, wv);
+        let loss = tape.sum_all(s);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(w).data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn student_t_assignment_rows_are_distributions() {
+        let v = Tensor::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]);
+        let c = Tensor::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![10.0, 0.0]]);
+        let q = student_t_assignment(&v, &c);
+        for i in 0..2 {
+            let sum: f32 = q.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Each point is closest to its own centroid.
+        assert!(q.get(0, 0) > q.get(0, 1) && q.get(0, 0) > q.get(0, 2));
+        assert!(q.get(1, 1) > q.get(1, 0) && q.get(1, 1) > q.get(1, 2));
+    }
+
+    #[test]
+    fn target_distribution_sharpens_confident_assignments() {
+        let q = Tensor::from_rows(&[vec![0.9, 0.1], vec![0.6, 0.4]]);
+        let p = target_distribution(&q);
+        // Rows remain distributions.
+        for i in 0..2 {
+            let sum: f32 = p.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // High-confidence assignment gets sharper.
+        assert!(p.get(0, 0) > q.get(0, 0));
+    }
+
+    #[test]
+    fn weighted_softmax_nll_reduces_to_cross_entropy_for_one_hot() {
+        let mut tape = Tape::new();
+        let logits = tape.constant(Tensor::from_rows(&[vec![2.0, 0.0, -1.0]]));
+        let loss = tape.weighted_softmax_nll(logits, vec![vec![(0, 1.0)]]);
+        let expected = {
+            let p = Tensor::from_rows(&[vec![2.0, 0.0, -1.0]]).softmax_rows();
+            -p.get(0, 0).ln()
+        };
+        assert!((scalar(tape.value(loss)) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dec_kl_is_zero_when_p_equals_q() {
+        let v = Tensor::from_rows(&[vec![0.0, 0.0], vec![4.0, 4.0]]);
+        let c = Tensor::from_rows(&[vec![0.0, 0.0], vec![4.0, 4.0]]);
+        let q = student_t_assignment(&v, &c);
+        let mut tape = Tape::new();
+        let vv = tape.constant(v);
+        let cv = tape.constant(c);
+        let loss = tape.dec_kl(vv, cv, q);
+        assert!(scalar(tape.value(loss)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triplet_loss_is_zero_when_margin_satisfied() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_rows(&[vec![0.0, 0.0]]));
+        let p = tape.constant(Tensor::from_rows(&[vec![0.1, 0.0]]));
+        let n = tape.constant(Tensor::from_rows(&[vec![10.0, 0.0]]));
+        let loss = tape.triplet(a, p, n, 1.0);
+        assert_eq!(scalar(tape.value(loss)), 0.0);
+    }
+
+    #[test]
+    fn triplet_loss_positive_when_violated() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_rows(&[vec![0.0, 0.0]]));
+        let p = tape.constant(Tensor::from_rows(&[vec![3.0, 0.0]]));
+        let n = tape.constant(Tensor::from_rows(&[vec![1.0, 0.0]]));
+        let loss = tape.triplet(a, p, n, 0.5);
+        // |a-p|^2 = 9, |a-n|^2 = 1, margin 0.5 -> 8.5
+        assert!((scalar(tape.value(loss)) - 8.5).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let c = tape.constant(Tensor::zeros(2, 2));
+        tape.backward(c, &mut store);
+    }
+}

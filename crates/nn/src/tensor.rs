@@ -1,0 +1,521 @@
+//! Dense row-major 2-D `f32` tensor.
+//!
+//! Everything in the E²DTC training stack is expressible with 2-D tensors:
+//! a batch of hidden states is `(batch, hidden)`, an embedding table is
+//! `(vocab, dim)`, a single vector is `(1, dim)`. Keeping the representation
+//! flat and two-dimensional keeps the hot loops simple enough for the
+//! compiler to vectorize.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape ({rows}, {cols})",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a `(1, n)` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self { rows: 1, cols, data }
+    }
+
+    /// Creates a tensor from nested rows (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// Straightforward ikj-ordered triple loop: the inner loop runs over
+    /// contiguous memory in both the output row and the `other` row, which
+    /// auto-vectorizes well at the (≤ a few hundred) dimensions used here.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: ({}, {}) @ ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}, {})^T @ ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = &other.data[k * n..(k + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: ({}, {}) @ ({}, {})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Element-wise sum, returning a new tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds a `(1, cols)` row vector to every row.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let dst = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (d, &b) in dst.iter_mut().zip(&row.data) {
+                *d += b;
+            }
+        }
+        out
+    }
+
+    /// Sum over rows, producing a `(1, cols)` row vector.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            let src = self.row(r);
+            for (o, &x) in out.data.iter_mut().zip(src) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius (L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Squared L2 distance between row `r` of `self` and row `s` of `other`.
+    pub fn row_sq_dist(&self, r: usize, other: &Tensor, s: usize) -> f32 {
+        assert_eq!(self.cols, other.cols, "row_sq_dist width mismatch");
+        self.row(r)
+            .iter()
+            .zip(other.row(s))
+            .map(|(&a, &b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let mut out = Tensor::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertical concatenation (stacking rows).
+    pub fn concat_rows(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "concat_rows col mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Tensor { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Copies the given rows into a new tensor (gather).
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather_rows index {idx} out of range {}", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Row-wise softmax, numerically stabilized by the row max.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// True when any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+/// Numerically-stable in-place softmax over a slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let t = Tensor::zeros(2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0], vec![9.0, 10.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![-10.0, 0.0, 10.0]]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = Tensor::row_vector(vec![1000.0, 1000.0]);
+        let s = a.softmax_rows();
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_add_applies_row_to_each_row() {
+        let a = Tensor::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let b = Tensor::row_vector(vec![10.0, 20.0]);
+        let c = a.add_row_broadcast(&b);
+        assert_eq!(c, Tensor::from_rows(&[vec![11.0, 21.0], vec![12.0, 22.0]]));
+    }
+
+    #[test]
+    fn sum_rows_collapses_to_row_vector() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.sum_rows(), Tensor::row_vector(vec![4.0, 6.0]));
+    }
+
+    #[test]
+    fn gather_rows_copies_selected_rows() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, Tensor::from_rows(&[vec![5.0, 6.0], vec![1.0, 2.0], vec![5.0, 6.0]]));
+    }
+
+    #[test]
+    fn concat_cols_widths_add() {
+        let a = Tensor::from_rows(&[vec![1.0], vec![2.0]]);
+        let b = Tensor::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c, Tensor::from_rows(&[vec![1.0, 3.0, 4.0], vec![2.0, 5.0, 6.0]]));
+    }
+
+    #[test]
+    fn row_sq_dist_matches_manual() {
+        let a = Tensor::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(a.row_sq_dist(0, &a, 1), 25.0);
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let a = Tensor::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,292 @@
+//! Finite-difference validation of every autograd op and layer.
+//!
+//! Uses f32 central differences with eps = 1e-2 and a 2e-2 relative
+//! tolerance — loose enough for single precision, tight enough to catch any
+//! sign/transpose/factor-of-two mistake in a backward rule.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_nn::gradcheck::assert_grads_close;
+use traj_nn::init::Init;
+use traj_nn::layers::{Embedding, Gru, GruCell, Linear};
+use traj_nn::tape::{student_t_assignment, target_distribution};
+use traj_nn::{ParamStore, Tensor};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn seeded_param(store: &mut ParamStore, name: &str, rows: usize, cols: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    store.add_init(name, rows, cols, Init::Uniform(0.8), &mut rng);
+}
+
+#[test]
+fn matmul_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "a", 3, 4, 1);
+    seeded_param(&mut store, "b", 4, 2, 2);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let a = tape.param(store, ids[0]);
+        let b = tape.param(store, ids[1]);
+        let c = tape.matmul(a, b);
+        tape.mean_all(c)
+    });
+}
+
+#[test]
+fn add_sub_hadamard_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "a", 2, 3, 3);
+    seeded_param(&mut store, "b", 2, 3, 4);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let a = tape.param(store, ids[0]);
+        let b = tape.param(store, ids[1]);
+        let s = tape.add(a, b);
+        let d = tape.sub(s, b);
+        let h = tape.hadamard(d, b);
+        tape.sum_all(h)
+    });
+}
+
+#[test]
+fn broadcast_and_affine_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "m", 3, 2, 5);
+    seeded_param(&mut store, "row", 1, 2, 6);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let m = tape.param(store, ids[0]);
+        let row = tape.param(store, ids[1]);
+        let b = tape.add_row_broadcast(m, row);
+        let a = tape.affine(b, 1.7, -0.3);
+        tape.mean_all(a)
+    });
+}
+
+#[test]
+fn sigmoid_tanh_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "x", 2, 4, 7);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let x = tape.param(store, ids[0]);
+        let s = tape.sigmoid(x);
+        let t = tape.tanh(s);
+        tape.sum_all(t)
+    });
+}
+
+#[test]
+fn concat_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "a", 2, 2, 8);
+    seeded_param(&mut store, "b", 2, 3, 9);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let a = tape.param(store, ids[0]);
+        let b = tape.param(store, ids[1]);
+        let c = tape.concat_cols(a, b);
+        let sq = tape.hadamard(c, c);
+        tape.mean_all(sq)
+    });
+}
+
+#[test]
+fn gather_rows_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "table", 5, 3, 10);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let t = tape.param(store, ids[0]);
+        let g = tape.gather_rows(t, &[0, 3, 3, 4]);
+        let sq = tape.hadamard(g, g);
+        tape.sum_all(sq)
+    });
+}
+
+#[test]
+fn weighted_softmax_nll_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "logits", 3, 6, 11);
+    let ids: Vec<_> = store.ids().collect();
+    // kNN-style sparse targets: a few weighted cells per row, summing to 1.
+    let targets = vec![
+        vec![(0, 0.7), (1, 0.2), (2, 0.1)],
+        vec![(3, 1.0)],
+        vec![(4, 0.5), (5, 0.5)],
+    ];
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let l = tape.param(store, ids[0]);
+        tape.weighted_softmax_nll(l, targets.clone())
+    });
+}
+
+#[test]
+fn dec_kl_grads_wrt_embeddings_and_centroids() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "v", 6, 3, 12);
+    seeded_param(&mut store, "c", 2, 3, 13);
+    let ids: Vec<_> = store.ids().collect();
+    // Fix the target distribution P from the initial Q (it is a constant
+    // during each self-training interval, per the paper).
+    let p = {
+        let q = student_t_assignment(store.get(ids[0]), store.get(ids[1]));
+        target_distribution(&q)
+    };
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let v = tape.param(store, ids[0]);
+        let c = tape.param(store, ids[1]);
+        tape.dec_kl(v, c, p.clone())
+    });
+}
+
+#[test]
+fn triplet_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "a", 4, 3, 14);
+    seeded_param(&mut store, "p", 4, 3, 15);
+    seeded_param(&mut store, "n", 4, 3, 16);
+    let ids: Vec<_> = store.ids().collect();
+    // Large margin so every triplet is active (the hinge is non-smooth at
+    // the boundary, which would foil finite differences).
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let a = tape.param(store, ids[0]);
+        let p = tape.param(store, ids[1]);
+        let n = tape.param(store, ids[2]);
+        tape.triplet(a, p, n, 50.0)
+    });
+}
+
+#[test]
+fn linear_layer_grads() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut store = ParamStore::new();
+    let layer = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
+    let x = Tensor::from_rows(&[vec![0.3, -0.2, 0.5], vec![-0.4, 0.8, 0.1]]);
+    assert_grads_close(&mut store, EPS, TOL, move |tape, store| {
+        let xv = tape.constant(x.clone());
+        let y = layer.forward(tape, store, xv);
+        let sq = tape.hadamard(y, y);
+        tape.mean_all(sq)
+    });
+}
+
+#[test]
+fn embedding_layer_grads() {
+    let mut rng = StdRng::seed_from_u64(18);
+    let mut store = ParamStore::new();
+    let emb = Embedding::new(&mut store, "emb", 6, 4, &mut rng);
+    assert_grads_close(&mut store, EPS, TOL, move |tape, store| {
+        let e = emb.forward(tape, store, &[1, 1, 5]);
+        let sq = tape.hadamard(e, e);
+        tape.sum_all(sq)
+    });
+}
+
+#[test]
+fn gru_cell_grads() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut store = ParamStore::new();
+    let cell = GruCell::new(&mut store, "cell", 2, 3, &mut rng);
+    let x = Tensor::from_rows(&[vec![0.5, -0.7]]);
+    let h = Tensor::from_rows(&[vec![0.1, 0.2, -0.3]]);
+    assert_grads_close(&mut store, EPS, TOL, move |tape, store| {
+        let xv = tape.constant(x.clone());
+        let hv = tape.constant(h.clone());
+        let h2 = cell.step(tape, store, xv, hv);
+        let sq = tape.hadamard(h2, h2);
+        tape.sum_all(sq)
+    });
+}
+
+#[test]
+fn multilayer_gru_bptt_grads() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let mut store = ParamStore::new();
+    let gru = Gru::new(&mut store, "gru", 2, 3, 2, &mut rng);
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|t| Tensor::from_rows(&[vec![0.2 * t as f32, -0.1 * t as f32]]))
+        .collect();
+    assert_grads_close(&mut store, EPS, TOL, move |tape, store| {
+        let mut state = gru.zero_state(tape, 1);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let mut last = None;
+        for x in &inputs {
+            let xv = tape.constant(x.clone());
+            last = Some(gru.step(tape, store, xv, &mut state, false, &mut rng2));
+        }
+        let h = last.expect("non-empty sequence");
+        let sq = tape.hadamard(h, h);
+        tape.sum_all(sq)
+    });
+}
+
+#[test]
+fn row_sum_and_col_broadcast_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "m", 3, 4, 21);
+    seeded_param(&mut store, "col_src", 3, 4, 22);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let m = tape.param(store, ids[0]);
+        let c_src = tape.param(store, ids[1]);
+        let col = tape.row_sum(c_src);
+        let scaled = tape.col_broadcast_mul(m, col);
+        tape.mean_all(scaled)
+    });
+}
+
+#[test]
+fn softmax_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "x", 2, 5, 23);
+    seeded_param(&mut store, "w", 2, 5, 24);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let x = tape.param(store, ids[0]);
+        let w = tape.param(store, ids[1]);
+        let s = tape.softmax(x);
+        // Weighted so the gradient is not trivially zero.
+        let prod = tape.hadamard(s, w);
+        tape.sum_all(prod)
+    });
+}
+
+#[test]
+fn slice_cols_grads() {
+    let mut store = ParamStore::new();
+    seeded_param(&mut store, "a", 3, 6, 25);
+    let ids: Vec<_> = store.ids().collect();
+    assert_grads_close(&mut store, EPS, TOL, |tape, store| {
+        let a = tape.param(store, ids[0]);
+        let left = tape.slice_cols(a, 0, 2);
+        let right = tape.slice_cols(a, 3, 6);
+        let sq_l = tape.hadamard(left, left);
+        let sum_l = tape.sum_all(sq_l);
+        let sum_r = tape.mean_all(right);
+        tape.add(sum_l, sum_r)
+    });
+}
+
+#[test]
+fn dot_attention_grads() {
+    use traj_nn::layers::DotAttention;
+    let mut rng = StdRng::seed_from_u64(26);
+    let mut store = ParamStore::new();
+    let attn = DotAttention::new(&mut store, "attn", 3, &mut rng);
+    seeded_param(&mut store, "q", 2, 3, 27);
+    seeded_param(&mut store, "e0", 2, 3, 28);
+    seeded_param(&mut store, "e1", 2, 3, 29);
+    let ids: Vec<_> = store.ids().collect();
+    let n = ids.len();
+    assert_grads_close(&mut store, EPS, TOL, move |tape, store| {
+        let q = tape.param(store, ids[n - 3]);
+        let e0 = tape.param(store, ids[n - 2]);
+        let e1 = tape.param(store, ids[n - 1]);
+        let out = attn.attend(tape, store, q, &[e0, e1]);
+        let sq = tape.hadamard(out, out);
+        tape.sum_all(sq)
+    });
+}

@@ -1,0 +1,360 @@
+//! # traj-tsne — exact t-SNE (van der Maaten & Hinton, JMLR 2008)
+//!
+//! The E²DTC paper visualizes embedding spaces with t-SNE on 1000-sample
+//! subsets (Figs. 4–5). This crate implements the exact O(n²) algorithm —
+//! entirely adequate at that size — with perplexity-calibrated conditional
+//! affinities, early exaggeration, and momentum gradient descent.
+//!
+//! Inputs can be feature vectors (Euclidean affinities) or a precomputed
+//! distance matrix (how the paper's *classic-metric* panels, Figs. 4a–4d,
+//! must be produced, since EDR/LCSS/DTW/Hausdorff have no feature space).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions (typical 5–50).
+    pub perplexity: f64,
+    /// Total gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 12.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a t-SNE run.
+#[derive(Clone, Debug)]
+pub struct TsneResult {
+    /// Flat `(n, 2)` output coordinates.
+    pub coords: Vec<f64>,
+    /// Final KL divergence of the embedding.
+    pub kl: f64,
+}
+
+impl TsneResult {
+    /// The 2-D position of point `i`.
+    pub fn point(&self, i: usize) -> (f64, f64) {
+        (self.coords[2 * i], self.coords[2 * i + 1])
+    }
+}
+
+/// Runs t-SNE on `(n, d)` feature vectors (flat row-major `f32`).
+///
+/// # Panics
+/// Panics if `data.len() != n * d` or `n < 3`.
+pub fn tsne(data: &[f32], n: usize, d: usize, cfg: &TsneConfig) -> TsneResult {
+    assert_eq!(data.len(), n * d, "buffer must be n × d");
+    let sq = pairwise_sq_dists(data, n, d);
+    tsne_from_sq_dists(&sq, n, cfg)
+}
+
+/// Runs t-SNE on a precomputed symmetric distance matrix (row-major,
+/// distances not squared).
+///
+/// # Panics
+/// Panics if `dist.len() != n * n` or `n < 3`.
+pub fn tsne_from_distances(dist: &[f64], n: usize, cfg: &TsneConfig) -> TsneResult {
+    assert_eq!(dist.len(), n * n, "matrix must be n × n");
+    let sq: Vec<f64> = dist.iter().map(|&x| x * x).collect();
+    tsne_from_sq_dists(&sq, n, cfg)
+}
+
+fn tsne_from_sq_dists(sq: &[f64], n: usize, cfg: &TsneConfig) -> TsneResult {
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let p = joint_affinities(sq, n, cfg.perplexity);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y: Vec<f64> = (0..2 * n).map(|_| (rng.gen::<f64>() - 0.5) * 1e-2).collect();
+    let mut velocity = vec![0.0f64; 2 * n];
+    let mut gains = vec![1.0f64; 2 * n];
+    let exaggeration_end = cfg.iterations / 4;
+
+    let mut q_num = vec![0.0f64; n * n];
+    let mut kl = 0.0;
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exaggeration_end { cfg.exaggeration } else { 1.0 };
+        // Student-t numerators and their sum.
+        let mut z = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                let num = 1.0 / (1.0 + dx * dx + dy * dy);
+                q_num[i * n + j] = num;
+                q_num[j * n + i] = num;
+                z += 2.0 * num;
+            }
+        }
+        let z = z.max(1e-12);
+
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) num_ij (y_i − y_j)
+        let momentum = if iter < 20 { 0.5 } else { 0.8 };
+        kl = 0.0;
+        for i in 0..n {
+            let mut gx = 0.0;
+            let mut gy = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pij = p[i * n + j];
+                let num = q_num[i * n + j];
+                let qij = (num / z).max(1e-12);
+                if pij > 0.0 {
+                    kl += pij * (pij / qij).ln();
+                }
+                let mult = (exag * pij - qij) * num;
+                gx += mult * (y[2 * i] - y[2 * j]);
+                gy += mult * (y[2 * i + 1] - y[2 * j + 1]);
+            }
+            for (axis, g) in [(0usize, 4.0 * gx), (1usize, 4.0 * gy)] {
+                let idx = 2 * i + axis;
+                // Adaptive gains (classic vdM implementation detail).
+                gains[idx] = if g.signum() != velocity[idx].signum() {
+                    (gains[idx] + 0.2).min(10.0)
+                } else {
+                    (gains[idx] * 0.8).max(0.01)
+                };
+                velocity[idx] = momentum * velocity[idx] - cfg.learning_rate * gains[idx] * g;
+            }
+        }
+        kl /= 2.0; // each pair visited twice above
+        for (yi, v) in y.iter_mut().zip(&velocity) {
+            *yi += v;
+        }
+        // Re-center to keep coordinates bounded.
+        let (mx, my) = mean_xy(&y, n);
+        for i in 0..n {
+            y[2 * i] -= mx;
+            y[2 * i + 1] -= my;
+        }
+    }
+    TsneResult { coords: y, kl }
+}
+
+fn mean_xy(y: &[f64], n: usize) -> (f64, f64) {
+    let mut mx = 0.0;
+    let mut my = 0.0;
+    for i in 0..n {
+        mx += y[2 * i];
+        my += y[2 * i + 1];
+    }
+    (mx / n as f64, my / n as f64)
+}
+
+/// Squared Euclidean pairwise distances of flat `f32` features.
+fn pairwise_sq_dists(data: &[f32], n: usize, d: usize) -> Vec<f64> {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let a = &data[i * d..(i + 1) * d];
+            (0..n)
+                .map(|j| {
+                    let b = &data[j * d..(j + 1) * d];
+                    a.iter()
+                        .zip(b)
+                        .map(|(&x, &y)| {
+                            let diff = (x - y) as f64;
+                            diff * diff
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+    rows.into_iter().flatten().collect()
+}
+
+/// Symmetrized joint affinities `P` with per-point bandwidths calibrated
+/// to the target perplexity by binary search on `log(perplexity)`.
+fn joint_affinities(sq: &[f64], n: usize, perplexity: f64) -> Vec<f64> {
+    let target_entropy = perplexity.max(1.0).ln();
+    let conditional: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| calibrate_row(sq, n, i, target_entropy))
+        .collect();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            p[i * n + j] = conditional[i][j];
+        }
+    }
+    // Symmetrize and normalize to a joint distribution.
+    let mut joint = vec![0.0f64; n * n];
+    let norm = 1.0 / (2.0 * n as f64);
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = (p[i * n + j] + p[j * n + i]) * norm;
+        }
+    }
+    joint
+}
+
+fn calibrate_row(sq: &[f64], n: usize, i: usize, target_entropy: f64) -> Vec<f64> {
+    let mut beta = 1.0f64; // 1 / (2 sigma^2)
+    let (mut beta_min, mut beta_max) = (0.0f64, f64::INFINITY);
+    let mut row = vec![0.0f64; n];
+    for _ in 0..64 {
+        let mut sum = 0.0;
+        for (j, r) in row.iter_mut().enumerate() {
+            *r = if j == i { 0.0 } else { (-beta * sq[i * n + j]).exp() };
+            sum += *r;
+        }
+        if sum <= 0.0 {
+            // Degenerate (all other points infinitely far): back off.
+            beta /= 10.0;
+            continue;
+        }
+        // Shannon entropy of the conditional distribution.
+        let mut entropy = 0.0;
+        for r in &mut row {
+            *r /= sum;
+            if *r > 0.0 {
+                entropy -= *r * r.ln();
+            }
+        }
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+        } else {
+            beta_max = beta;
+            beta = (beta + beta_min) / 2.0;
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data() -> (Vec<f32>, Vec<usize>, usize) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let centers = [(0.0f32, 0.0f32, 0.0f32), (20.0, 0.0, 0.0), (0.0, 20.0, 0.0)];
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (l, &(cx, cy, cz)) in centers.iter().enumerate() {
+            for _ in 0..20 {
+                data.push(cx + rng.gen::<f32>());
+                data.push(cy + rng.gen::<f32>());
+                data.push(cz + rng.gen::<f32>());
+                labels.push(l);
+            }
+        }
+        (data, labels, 60)
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let (data, _, n) = blob_data();
+        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        let a = tsne(&data, n, 3, &cfg);
+        let b = tsne(&data, n, 3, &cfg);
+        assert_eq!(a.coords.len(), 2 * n);
+        assert_eq!(a.coords, b.coords);
+    }
+
+    #[test]
+    fn affinities_are_a_distribution() {
+        let (data, _, n) = blob_data();
+        let sq = pairwise_sq_dists(&data, n, 3);
+        let p = joint_affinities(&sq, n, 15.0);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "joint P sums to {total}");
+        assert!(p.iter().all(|&x| x >= 0.0));
+        // Symmetric.
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p[i * n + j] - p[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated_in_2d() {
+        let (data, labels, n) = blob_data();
+        let cfg = TsneConfig { iterations: 250, perplexity: 10.0, ..Default::default() };
+        let res = tsne(&data, n, 3, &cfg);
+        // Mean intra-cluster pairwise distance must be well below the mean
+        // inter-cluster distance in the 2-D embedding.
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (xi, yi) = res.point(i);
+                let (xj, yj) = res.point(j);
+                let dd = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + dd, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + dd, inter.1 + 1);
+                }
+            }
+        }
+        let intra = intra.0 / intra.1 as f64;
+        let inter = inter.0 / inter.1 as f64;
+        assert!(inter > 2.0 * intra, "inter {inter:.2} vs intra {intra:.2}");
+    }
+
+    #[test]
+    fn distance_matrix_entry_point_agrees_with_features() {
+        // Feeding sqrt(pairwise sq dists) through the distance entry point
+        // must reproduce the same joint affinities (up to the sqrt/square
+        // round-trip rounding).
+        let (data, _, n) = blob_data();
+        let sq = pairwise_sq_dists(&data, n, 3);
+        let dist: Vec<f64> = sq.iter().map(|&x| x.sqrt()).collect();
+        let sq_back: Vec<f64> = dist.iter().map(|&x| x * x).collect();
+        let p_feat = joint_affinities(&sq, n, 15.0);
+        let p_dist = joint_affinities(&sq_back, n, 15.0);
+        for (a, b) in p_feat.iter().zip(&p_dist) {
+            assert!((a - b).abs() < 1e-7, "affinity mismatch: {a} vs {b}");
+        }
+        // And the distance entry point runs end-to-end.
+        let cfg = TsneConfig { iterations: 40, ..Default::default() };
+        let res = tsne_from_distances(&dist, n, &cfg);
+        assert_eq!(res.coords.len(), 2 * n);
+        assert!(res.kl.is_finite());
+    }
+
+    #[test]
+    fn kl_is_finite_and_reasonable() {
+        let (data, _, n) = blob_data();
+        let cfg = TsneConfig { iterations: 150, ..Default::default() };
+        let res = tsne(&data, n, 3, &cfg);
+        assert!(res.kl.is_finite());
+        assert!(res.kl >= 0.0);
+        assert!(res.kl < 5.0, "KL unexpectedly high: {}", res.kl);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_points_panics() {
+        let data = vec![0.0f32, 0.0, 1.0, 1.0];
+        let _ = tsne(&data, 2, 2, &TsneConfig::default());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-style invariants of the t-SNE implementation, exercised
+//! through the public API.
+
+use proptest::prelude::*;
+use traj_tsne::{tsne, tsne_from_distances, TsneConfig};
+
+fn small_cfg(seed: u64) -> TsneConfig {
+    TsneConfig { iterations: 40, perplexity: 5.0, seed, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn output_is_finite_and_centered(
+        values in prop::collection::vec(-5.0f32..5.0, 3 * 8..=3 * 8),
+        seed in 0u64..50,
+    ) {
+        let res = tsne(&values, 8, 3, &small_cfg(seed));
+        prop_assert_eq!(res.coords.len(), 16);
+        prop_assert!(res.coords.iter().all(|x| x.is_finite()));
+        prop_assert!(res.kl.is_finite() && res.kl >= -1e-6);
+        // Re-centering keeps the mean at the origin.
+        let mx: f64 = (0..8).map(|i| res.point(i).0).sum::<f64>() / 8.0;
+        let my: f64 = (0..8).map(|i| res.point(i).1).sum::<f64>() / 8.0;
+        prop_assert!(mx.abs() < 1e-6 && my.abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_per_seed(
+        values in prop::collection::vec(-5.0f32..5.0, 3 * 6..=3 * 6),
+    ) {
+        let a = tsne(&values, 6, 3, &small_cfg(3));
+        let b = tsne(&values, 6, 3, &small_cfg(3));
+        prop_assert_eq!(a.coords, b.coords);
+        let c = tsne(&values, 6, 3, &small_cfg(4));
+        prop_assert_ne!(a.coords, c.coords);
+    }
+
+    #[test]
+    fn distance_input_matches_feature_input_shape(
+        values in prop::collection::vec(0.0f32..5.0, 2 * 6..=2 * 6),
+    ) {
+        // Build the pairwise Euclidean matrix by hand and run the
+        // distance entry point.
+        let n = 6;
+        let mut dist = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = (values[2 * i] - values[2 * j]) as f64;
+                let dy = (values[2 * i + 1] - values[2 * j + 1]) as f64;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        let res = tsne_from_distances(&dist, n, &small_cfg(9));
+        prop_assert_eq!(res.coords.len(), 2 * n);
+        prop_assert!(res.coords.iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn duplicate_points_do_not_produce_nan() {
+    // Degenerate input: several identical points.
+    let data = vec![1.0f32; 5 * 4];
+    let res = tsne(&data, 5, 4, &small_cfg(0));
+    assert!(res.coords.iter().all(|x| x.is_finite()));
+}
