@@ -225,13 +225,16 @@ impl E2dtc {
     pub fn pretrain(&mut self, dataset: &Dataset, epochs: usize) -> Vec<EpochRecord> {
         self.ensure_sequences(dataset);
         let mut history = Vec::with_capacity(epochs);
+        // One tape reused across every batch: clear() keeps the node
+        // buffer's allocation, so steady-state batches allocate no graph.
+        let mut tape = Tape::new();
         for epoch in 0..epochs {
             let batches = self.make_batches(dataset.len());
             let mut total = 0.0f64;
             let mut count = 0usize;
             for batch in &batches {
                 let (inputs, targets) = self.corrupted_batch(dataset, batch);
-                let mut tape = Tape::new();
+                tape.clear();
                 let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
                 let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
                 let enc =
@@ -269,8 +272,9 @@ impl E2dtc {
         let n = sequences.len();
         let d = self.repr_dim();
         let mut out = Tensor::zeros(n, d);
+        let mut tape = Tape::new();
         for batch in self.make_batches_for(&sequences) {
-            let mut tape = Tape::new();
+            tape.clear();
             let refs: Vec<&[usize]> =
                 batch.iter().map(|&i| sequences[i].as_slice()).collect();
             let enc = self.model.encode(&mut tape, &self.store, &refs, false, &mut self.rng);
@@ -339,6 +343,7 @@ impl E2dtc {
             let mut count = 0usize;
             let assign_now =
                 prev_assign.as_ref().expect("assignments recorded before training");
+            let mut tape = Tape::new();
             for batch in &batches {
                 // Hard-negative mining for the triplet loss: for each
                 // anchor, the nearest batch member currently assigned to a
@@ -361,7 +366,7 @@ impl E2dtc {
                     })
                     .collect();
                 let (lr_, lc, lt) =
-                    self.joint_step(dataset, batch, &p, centroids_id, &negatives);
+                    self.joint_step(&mut tape, dataset, batch, &p, centroids_id, &negatives);
                 sum_r += lr_ as f64;
                 sum_c += lc as f64;
                 sum_t += lt as f64;
@@ -393,8 +398,10 @@ impl E2dtc {
     /// One joint-loss mini-batch: `L_r + β·L_c + γ·L_t` per the active
     /// [`LossMode`]. `negatives[row]` is the batch-row index of the mined
     /// triplet negative for anchor `row`. Returns the three loss values.
+    #[allow(clippy::too_many_arguments)]
     fn joint_step(
         &mut self,
+        tape: &mut Tape,
         dataset: &Dataset,
         batch: &[usize],
         p: &Tensor,
@@ -402,18 +409,18 @@ impl E2dtc {
         negatives: &[usize],
     ) -> (f32, f32, f32) {
         let (inputs, targets) = self.corrupted_batch(dataset, batch);
-        let mut tape = Tape::new();
+        tape.clear();
         let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
         let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
 
         // Anchor embeddings from the *original* sequences; positives from
         // the corrupted variants (which also drive reconstruction).
         let enc_orig =
-            self.model.encode(&mut tape, &self.store, &target_refs, true, &mut self.rng);
+            self.model.encode(tape, &self.store, &target_refs, true, &mut self.rng);
         let enc_corr =
-            self.model.encode(&mut tape, &self.store, &input_refs, true, &mut self.rng);
+            self.model.encode(tape, &self.store, &input_refs, true, &mut self.rng);
         let l_r = self.model.reconstruction_loss(
-            &mut tape,
+            tape,
             &self.store,
             &enc_corr,
             &target_refs,
@@ -470,8 +477,9 @@ impl E2dtc {
     ) -> Vec<Vec<traj_data::GpsPoint>> {
         let sequences = self.dataset_sequences(dataset);
         let mut out: Vec<Vec<traj_data::GpsPoint>> = vec![Vec::new(); sequences.len()];
+        let mut tape = Tape::new();
         for batch in self.make_batches_for(&sequences) {
-            let mut tape = Tape::new();
+            tape.clear();
             let refs: Vec<&[usize]> =
                 batch.iter().map(|&i| sequences[i].as_slice()).collect();
             let enc = self.model.encode(&mut tape, &self.store, &refs, false, &mut self.rng);

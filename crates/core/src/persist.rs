@@ -40,7 +40,61 @@ struct SavedModel {
     opt: Adam,
 }
 
-const FORMAT_VERSION: u32 = 1;
+/// Version 2 fuses each GRU cell's ten per-gate tensors into four
+/// (`w_x`, `w_h`, `b_x`, `b_h`); version-1 checkpoints are migrated on
+/// load by [`migrate_v1_store`].
+const FORMAT_VERSION: u32 = 2;
+
+/// v1 per-cell parameter suffixes, in their registration order.
+const V1_GRU_SUFFIXES: [&str; 10] =
+    [".w_xr", ".w_hr", ".w_xz", ".w_hz", ".w_xn", ".w_hn", ".b_r", ".b_z", ".b_xn", ".b_hn"];
+
+/// Rebuilds a fused (v2) parameter store from a v1 store holding ten
+/// per-gate tensors per GRU cell.
+///
+/// The fused layout concatenates gate columns as `[r | z | n]`:
+/// `w_x = [W_xr | W_xz | W_xn]`, `w_h = [W_hr | W_hz | W_hn]`,
+/// `b_x = [b_r | b_z | b_xn]`, and `b_h = [0 | 0 | b_hn]` (v1 had no
+/// recurrent bias on the r/z gates, which the fused form encodes as zero
+/// blocks). Non-GRU parameters are copied through unchanged, preserving
+/// relative order.
+fn migrate_v1_store(old: &ParamStore) -> io::Result<ParamStore> {
+    let mut fused = ParamStore::new();
+    let ids: Vec<ParamId> = old.ids().collect();
+    let mut i = 0;
+    while i < ids.len() {
+        let name = old.name(ids[i]).to_string();
+        if let Some(prefix) = name.strip_suffix(".w_xr") {
+            let mut gates = Vec::with_capacity(V1_GRU_SUFFIXES.len());
+            for (j, suffix) in V1_GRU_SUFFIXES.iter().enumerate() {
+                let id = ids.get(i + j).copied().ok_or_else(|| {
+                    io::Error::other(format!("v1 GRU cell `{prefix}` is truncated"))
+                })?;
+                let got = old.name(id);
+                if got != format!("{prefix}{suffix}") {
+                    return Err(io::Error::other(format!(
+                        "v1 GRU cell `{prefix}`: expected `{prefix}{suffix}`, found `{got}`"
+                    )));
+                }
+                gates.push(old.get(id));
+            }
+            let w_x = gates[0].concat_cols(gates[2]).concat_cols(gates[4]);
+            let w_h = gates[1].concat_cols(gates[3]).concat_cols(gates[5]);
+            let b_x = gates[6].concat_cols(gates[7]).concat_cols(gates[8]);
+            let b_hn = gates[9];
+            let b_h = Tensor::zeros(1, 2 * b_hn.cols()).concat_cols(b_hn);
+            fused.add(format!("{prefix}.w_x"), w_x);
+            fused.add(format!("{prefix}.w_h"), w_h);
+            fused.add(format!("{prefix}.b_x"), b_x);
+            fused.add(format!("{prefix}.b_h"), b_h);
+            i += V1_GRU_SUFFIXES.len();
+        } else {
+            fused.add(name, old.get(ids[i]).clone());
+            i += 1;
+        }
+    }
+    Ok(fused)
+}
 
 impl E2dtc {
     /// Serializes the trained model to pretty JSON.
@@ -67,12 +121,24 @@ impl E2dtc {
     pub fn load(path: impl AsRef<Path>) -> io::Result<E2dtc> {
         let file = BufReader::new(File::open(path)?);
         let saved: SavedModel = serde_json::from_reader(file).map_err(io::Error::other)?;
-        if saved.format_version != FORMAT_VERSION {
-            return Err(io::Error::other(format!(
-                "unsupported model format version {} (expected {FORMAT_VERSION})",
-                saved.format_version
-            )));
-        }
+        let (store, opt) = match saved.format_version {
+            FORMAT_VERSION => (saved.store, saved.opt),
+            1 => {
+                // Pre-fusion checkpoint: fuse the per-gate GRU tensors.
+                // The parameter layout changes, so Adam's per-slot moment
+                // buffers no longer line up; restart the optimizer state
+                // (weights are preserved exactly, only momentum is lost).
+                let store = migrate_v1_store(&saved.store)?;
+                let opt =
+                    Adam::new(saved.config.lr).with_max_grad_norm(saved.config.max_grad_norm);
+                (store, opt)
+            }
+            v => {
+                return Err(io::Error::other(format!(
+                    "unsupported model format version {v} (expected ≤ {FORMAT_VERSION})"
+                )))
+            }
+        };
         // Rebuild the architecture in a scratch store: parameter ids are
         // assigned in deterministic registration order, so the layer
         // handles line up with the saved store's slots.
@@ -88,25 +154,24 @@ impl E2dtc {
             &mut rng,
         );
         let expected = scratch.len() + usize::from(saved.has_centroids);
-        if saved.store.len() != expected {
+        if store.len() != expected {
             return Err(io::Error::other(format!(
                 "saved parameter count {} does not match architecture ({expected})",
-                saved.store.len()
+                store.len()
             )));
         }
-        let centroids = saved
-            .has_centroids
-            .then(|| saved.store.ids().last().expect("store non-empty"));
+        let centroids =
+            saved.has_centroids.then(|| store.ids().last().expect("store non-empty"));
         Ok(E2dtc {
             rng: StdRng::seed_from_u64(saved.config.seed ^ 0x6c6f6164),
             cfg: saved.config,
             grid: saved.grid,
             vocab: saved.vocab,
             weights: saved.weights,
-            store: saved.store,
+            store,
             model,
             centroids,
-            opt: saved.opt,
+            opt,
             sequences: Vec::new(),
         })
     }
@@ -166,6 +231,90 @@ mod tests {
     #[test]
     fn load_rejects_missing_file() {
         assert!(E2dtc::load("/nonexistent/model.json").is_err());
+    }
+
+    /// Splits a fused (v2) store back into the v1 per-gate layout, exactly
+    /// inverting [`migrate_v1_store`]. The r/z blocks of `b_h` fold into
+    /// `b_r`/`b_z`: both biases feed the same gate pre-activation, so the
+    /// sum is the equivalent v1 parameterization.
+    fn defuse_to_v1(store: &ParamStore) -> ParamStore {
+        let col_block = |t: &Tensor, lo: usize, hi: usize| {
+            let mut out = Tensor::zeros(t.rows(), hi - lo);
+            for r in 0..t.rows() {
+                out.row_mut(r).copy_from_slice(&t.row(r)[lo..hi]);
+            }
+            out
+        };
+        let ids: Vec<ParamId> = store.ids().collect();
+        let mut v1 = ParamStore::new();
+        let mut i = 0;
+        while i < ids.len() {
+            let name = store.name(ids[i]).to_string();
+            if let Some(prefix) = name.strip_suffix(".w_x") {
+                let w_x = store.get(ids[i]);
+                let w_h = store.get(ids[i + 1]);
+                let b_x = store.get(ids[i + 2]);
+                let b_h = store.get(ids[i + 3]);
+                let h = w_h.rows();
+                v1.add(format!("{prefix}.w_xr"), col_block(w_x, 0, h));
+                v1.add(format!("{prefix}.w_hr"), col_block(w_h, 0, h));
+                v1.add(format!("{prefix}.w_xz"), col_block(w_x, h, 2 * h));
+                v1.add(format!("{prefix}.w_hz"), col_block(w_h, h, 2 * h));
+                v1.add(format!("{prefix}.w_xn"), col_block(w_x, 2 * h, 3 * h));
+                v1.add(format!("{prefix}.w_hn"), col_block(w_h, 2 * h, 3 * h));
+                v1.add(format!("{prefix}.b_r"), col_block(b_x, 0, h).add(&col_block(b_h, 0, h)));
+                v1.add(
+                    format!("{prefix}.b_z"),
+                    col_block(b_x, h, 2 * h).add(&col_block(b_h, h, 2 * h)),
+                );
+                v1.add(format!("{prefix}.b_xn"), col_block(b_x, 2 * h, 3 * h));
+                v1.add(format!("{prefix}.b_hn"), col_block(b_h, 2 * h, 3 * h));
+                i += 4;
+            } else {
+                v1.add(name, store.get(ids[i]).clone());
+                i += 1;
+            }
+        }
+        v1
+    }
+
+    #[test]
+    fn v1_checkpoint_loads_and_matches_fused_model() {
+        let (mut model, dataset) = trained_model();
+
+        // Synthesize a pre-fusion checkpoint carrying the same weights.
+        let saved = SavedModel {
+            format_version: 1,
+            config: model.cfg.clone(),
+            grid: model.grid.clone(),
+            vocab: model.vocab.clone(),
+            weights: model.weights.clone(),
+            store: defuse_to_v1(&model.store),
+            has_centroids: model.centroids.is_some(),
+            opt: Adam::new(model.cfg.lr).with_max_grad_norm(model.cfg.max_grad_norm),
+        };
+        let dir = std::env::temp_dir().join("e2dtc_persist_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model_v1.json");
+        {
+            let file = BufWriter::new(File::create(&path).expect("create"));
+            serde_json::to_writer(file, &saved).expect("write v1 checkpoint");
+        }
+
+        let mut migrated = E2dtc::load(&path).expect("v1 checkpoint must load");
+        assert!(migrated.centroids_param().is_some());
+
+        // The fused parameterization is mathematically identical; only
+        // float association differs (b_h's r/z blocks fold into b_x), so
+        // embeddings agree to f32 tolerance and assignments exactly.
+        let orig = model.embed_dataset(&dataset);
+        let loaded = migrated.embed_dataset(&dataset);
+        assert_eq!(orig.shape(), loaded.shape());
+        for (a, b) in orig.data().iter().zip(loaded.data()) {
+            assert!((a - b).abs() < 1e-3, "migrated embedding diverges: {a} vs {b}");
+        }
+        assert_eq!(model.assign(&dataset), migrated.assign(&dataset));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

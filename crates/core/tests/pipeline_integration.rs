@@ -177,9 +177,12 @@ fn reconstruction_stays_near_the_original_path() {
     // produce cells near the original route — the autoencoding premise.
     let data = small_city(120, 14);
     let mut cfg = E2dtcConfig::tiny(data.num_clusters);
-    cfg.pretrain_epochs = 4;
+    // Six epochs: at four the tiny model sits right at the learning-curve
+    // knee, where the pass/fail margin is a lottery on the exact RNG stream
+    // and float rounding; six epochs clears the bar with a wide margin.
+    cfg.pretrain_epochs = 6;
     let mut model = E2dtc::new(&data.dataset, cfg);
-    let _ = model.pretrain(&data.dataset, 4);
+    let _ = model.pretrain(&data.dataset, 6);
     let recon = model.reconstruct(&data.dataset, 8);
     assert_eq!(recon.len(), data.len());
     let mut total_err = 0.0;

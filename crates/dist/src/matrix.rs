@@ -17,24 +17,26 @@ pub struct DistanceMatrix {
 
 impl DistanceMatrix {
     /// Computes all pairwise distances under `metric`, parallelizing over
-    /// rows.
+    /// the flattened upper-triangle pairs. Per-row scheduling leaves the
+    /// worker handed row 0 with `n - 1` distances while the one handed the
+    /// last row gets none; flat (i, j) pairs split into equal chunks keep
+    /// every thread busy until the triangle is exhausted.
     pub fn compute(trajectories: &[Trajectory], metric: &Metric) -> Self {
         let n = trajectories.len();
-        // Parallelize the upper triangle by row; each row i computes
-        // d(i, j) for j > i.
-        let rows: Vec<Vec<f64>> = (0..n)
-            .into_par_iter()
-            .map(|i| {
-                (i + 1..n).map(|j| metric.distance(&trajectories[i], &trajectories[j])).collect()
-            })
+        let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                pairs.push((i, j));
+            }
+        }
+        let distances: Vec<f64> = pairs
+            .par_iter()
+            .map(|&(i, j)| metric.distance(&trajectories[i], &trajectories[j]))
             .collect();
         let mut data = vec![0.0f64; n * n];
-        for (i, row) in rows.into_iter().enumerate() {
-            for (off, d) in row.into_iter().enumerate() {
-                let j = i + 1 + off;
-                data[i * n + j] = d;
-                data[j * n + i] = d;
-            }
+        for (&(i, j), d) in pairs.iter().zip(distances) {
+            data[i * n + j] = d;
+            data[j * n + i] = d;
         }
         Self { n, data }
     }
@@ -122,6 +124,38 @@ mod tests {
         let ts = vec![traj(0, 30.0), traj(1, 30.02), traj(2, 30.04)];
         let m = DistanceMatrix::compute(&ts, &Metric::Dtw);
         assert_eq!(m.medoid(), Some(1));
+    }
+
+    #[test]
+    fn flattened_pair_parallelism_matches_serial_reference() {
+        // Varied lengths so per-pair cost is uneven, exercising the chunked
+        // schedule; the result must equal the naive serial double loop.
+        let ts: Vec<Trajectory> = (0..9)
+            .map(|i| {
+                Trajectory::new(
+                    i,
+                    (0..(3 + (i as usize % 5) * 4))
+                        .map(|p| {
+                            GpsPoint::new(
+                                30.0 + i as f64 * 0.01 + p as f64 * 1e-4,
+                                120.0 + p as f64 * 1e-3,
+                                p as f64,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        for metric in [Metric::Dtw, Metric::Hausdorff] {
+            let m = DistanceMatrix::compute(&ts, &metric);
+            for i in 0..ts.len() {
+                for j in 0..ts.len() {
+                    let expect =
+                        if i == j { 0.0 } else { metric.distance(&ts[i], &ts[j]) };
+                    assert_eq!(m.get(i, j), expect, "{metric:?} ({i}, {j})");
+                }
+            }
+        }
     }
 
     #[test]

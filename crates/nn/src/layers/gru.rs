@@ -13,6 +13,15 @@
 //!
 //! composed from the primitive tape ops, so the whole recurrence is
 //! differentiated automatically through time (BPTT).
+//!
+//! The three gates share their matmuls: per direction the cell stores one
+//! fused weight `[W_r | W_z | W_n]` of width `3 * hidden`, so a step costs
+//! two matrix products (`x @ W_x`, `h @ W_h`) instead of six, with the
+//! per-gate pre-activations recovered by column slicing (the cuDNN/PyTorch
+//! fused-gate layout). The candidate's recurrent bias lives in the third
+//! block of `b_h` so that `n = tanh(gx_n + r ⊙ gh_n)` keeps the paper's
+//! `r ⊙ (h W_hn + b_hn)` form; the r/z blocks of `b_h` stay zero and fold
+//! into `b_x`.
 
 use crate::init::Init;
 use crate::params::{ParamId, ParamStore};
@@ -20,25 +29,39 @@ use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 use rand::Rng;
 
-/// One GRU cell (a single layer's recurrence step).
+/// Draws the two fused weights `[W_xr|W_xz|W_xn]` and `[W_hr|W_hz|W_hn]`.
+/// Each block keeps its own Xavier bound, so the fan-in / fan-out statistics
+/// match separate `(rows, hidden)` gate matrices; the blocks are drawn in
+/// the pre-fusion order (xr, hr, xz, hz, xn, hn) so a seeded run realizes
+/// bit-identical initial weights to the unfused layout.
+fn fused_gate_init(input: usize, hidden: usize, rng: &mut impl Rng) -> (Tensor, Tensor) {
+    let xavier = Init::XavierUniform;
+    let xr = xavier.tensor(input, hidden, rng);
+    let hr = xavier.tensor(hidden, hidden, rng);
+    let xz = xavier.tensor(input, hidden, rng);
+    let hz = xavier.tensor(hidden, hidden, rng);
+    let xn = xavier.tensor(input, hidden, rng);
+    let hn = xavier.tensor(hidden, hidden, rng);
+    (xr.concat_cols(&xz).concat_cols(&xn), hr.concat_cols(&hz).concat_cols(&hn))
+}
+
+/// One GRU cell (a single layer's recurrence step) with fused gate weights.
 #[derive(Clone, Copy, Debug)]
 pub struct GruCell {
-    w_xr: ParamId,
-    w_hr: ParamId,
-    b_r: ParamId,
-    w_xz: ParamId,
-    w_hz: ParamId,
-    b_z: ParamId,
-    w_xn: ParamId,
-    b_xn: ParamId,
-    w_hn: ParamId,
-    b_hn: ParamId,
+    /// `(input, 3 * hidden)` fused `[W_xr | W_xz | W_xn]`.
+    w_x: ParamId,
+    /// `(hidden, 3 * hidden)` fused `[W_hr | W_hz | W_hn]`.
+    w_h: ParamId,
+    /// `(1, 3 * hidden)` fused `[b_r | b_z | b_xn]`.
+    b_x: ParamId,
+    /// `(1, 3 * hidden)` fused `[0 | 0 | b_hn]`.
+    b_h: ParamId,
     input_dim: usize,
     hidden_dim: usize,
 }
 
 impl GruCell {
-    /// Registers a GRU cell's ten parameter tensors.
+    /// Registers a GRU cell's four fused parameter tensors.
     pub fn new(
         store: &mut ParamStore,
         name: &str,
@@ -46,51 +69,45 @@ impl GruCell {
         hidden_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let xavier = Init::XavierUniform;
-        let w_xr = store.add_init(format!("{name}.w_xr"), input_dim, hidden_dim, xavier, rng);
-        let w_hr = store.add_init(format!("{name}.w_hr"), hidden_dim, hidden_dim, xavier, rng);
-        let w_xz = store.add_init(format!("{name}.w_xz"), input_dim, hidden_dim, xavier, rng);
-        let w_hz = store.add_init(format!("{name}.w_hz"), hidden_dim, hidden_dim, xavier, rng);
-        let w_xn = store.add_init(format!("{name}.w_xn"), input_dim, hidden_dim, xavier, rng);
-        let w_hn = store.add_init(format!("{name}.w_hn"), hidden_dim, hidden_dim, xavier, rng);
-        let b_r = store.add_init(format!("{name}.b_r"), 1, hidden_dim, Init::Zeros, rng);
-        let b_z = store.add_init(format!("{name}.b_z"), 1, hidden_dim, Init::Zeros, rng);
-        let b_xn = store.add_init(format!("{name}.b_xn"), 1, hidden_dim, Init::Zeros, rng);
-        let b_hn = store.add_init(format!("{name}.b_hn"), 1, hidden_dim, Init::Zeros, rng);
-        Self { w_xr, w_hr, b_r, w_xz, w_hz, b_z, w_xn, b_xn, w_hn, b_hn, input_dim, hidden_dim }
+        let (wx_init, wh_init) = fused_gate_init(input_dim, hidden_dim, rng);
+        let w_x = store.add(format!("{name}.w_x"), wx_init);
+        let w_h = store.add(format!("{name}.w_h"), wh_init);
+        let b_x = store.add(format!("{name}.b_x"), Tensor::zeros(1, 3 * hidden_dim));
+        let b_h = store.add(format!("{name}.b_h"), Tensor::zeros(1, 3 * hidden_dim));
+        Self { w_x, w_h, b_x, b_h, input_dim, hidden_dim }
     }
 
     /// One recurrence step: `(x: (batch, input), h: (batch, hidden)) -> h'`.
     pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
         debug_assert_eq!(tape.value(x).cols(), self.input_dim, "GRU input width mismatch");
         debug_assert_eq!(tape.value(h).cols(), self.hidden_dim, "GRU hidden width mismatch");
+        let hd = self.hidden_dim;
 
-        let gate = |tape: &mut Tape, wx: ParamId, wh: ParamId, b: ParamId| {
-            let wxv = tape.param(store, wx);
-            let whv = tape.param(store, wh);
-            let bv = tape.param(store, b);
-            let xs = tape.matmul(x, wxv);
-            let hs = tape.matmul(h, whv);
-            let sum = tape.add(xs, hs);
-            tape.add_row_broadcast(sum, bv)
-        };
+        // All six per-gate products collapse into two fused matmuls.
+        let w_x = tape.param(store, self.w_x);
+        let w_h = tape.param(store, self.w_h);
+        let b_x = tape.param(store, self.b_x);
+        let b_h = tape.param(store, self.b_h);
+        let gx = tape.matmul(x, w_x);
+        let gx = tape.add_row_broadcast(gx, b_x);
+        let gh = tape.matmul(h, w_h);
+        let gh = tape.add_row_broadcast(gh, b_h);
 
-        let r_pre = gate(tape, self.w_xr, self.w_hr, self.b_r);
+        // r = σ(gx_r + gh_r), z = σ(gx_z + gh_z)
+        let gx_r = tape.slice_cols(gx, 0, hd);
+        let gh_r = tape.slice_cols(gh, 0, hd);
+        let r_pre = tape.add(gx_r, gh_r);
         let r = tape.sigmoid(r_pre);
-        let z_pre = gate(tape, self.w_xz, self.w_hz, self.b_z);
+        let gx_z = tape.slice_cols(gx, hd, 2 * hd);
+        let gh_z = tape.slice_cols(gh, hd, 2 * hd);
+        let z_pre = tape.add(gx_z, gh_z);
         let z = tape.sigmoid(z_pre);
 
-        // candidate: tanh(x W_xn + b_xn + r ⊙ (h W_hn + b_hn))
-        let w_xn = tape.param(store, self.w_xn);
-        let b_xn = tape.param(store, self.b_xn);
-        let w_hn = tape.param(store, self.w_hn);
-        let b_hn = tape.param(store, self.b_hn);
-        let xn = tape.matmul(x, w_xn);
-        let xn = tape.add_row_broadcast(xn, b_xn);
-        let hn = tape.matmul(h, w_hn);
-        let hn = tape.add_row_broadcast(hn, b_hn);
-        let rh = tape.hadamard(r, hn);
-        let n_pre = tape.add(xn, rh);
+        // candidate: n = tanh(gx_n + r ⊙ gh_n)
+        let gx_n = tape.slice_cols(gx, 2 * hd, 3 * hd);
+        let gh_n = tape.slice_cols(gh, 2 * hd, 3 * hd);
+        let rh = tape.hadamard(r, gh_n);
+        let n_pre = tape.add(gx_n, rh);
         let n = tape.tanh(n_pre);
 
         // h' = (1 - z) ⊙ n + z ⊙ h
@@ -108,6 +125,26 @@ impl GruCell {
     /// Hidden-state dimensionality.
     pub fn hidden_dim(&self) -> usize {
         self.hidden_dim
+    }
+
+    /// Fused `(input, 3 * hidden)` input-to-hidden weight `[W_xr|W_xz|W_xn]`.
+    pub fn w_x(&self) -> ParamId {
+        self.w_x
+    }
+
+    /// Fused `(hidden, 3 * hidden)` recurrent weight `[W_hr|W_hz|W_hn]`.
+    pub fn w_h(&self) -> ParamId {
+        self.w_h
+    }
+
+    /// Fused `(1, 3 * hidden)` input-side bias `[b_r|b_z|b_xn]`.
+    pub fn b_x(&self) -> ParamId {
+        self.b_x
+    }
+
+    /// Fused `(1, 3 * hidden)` recurrent-side bias `[0|0|b_hn]`.
+    pub fn b_h(&self) -> ParamId {
+        self.b_h
     }
 }
 

@@ -106,6 +106,15 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Empties the tape for reuse while keeping the node buffer's
+    /// allocation, so building one graph per mini-batch stops re-growing
+    /// the vector from scratch every step. Any [`Var`] handle issued
+    /// before the call is invalidated.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.param_nodes.clear();
+    }
+
     fn push(&mut self, value: Tensor, op: Op) -> Var {
         debug_assert!(!value.has_non_finite(), "non-finite forward value");
         self.nodes.push(Node { value, op });
@@ -180,13 +189,13 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let value = self.value(a).map(crate::tensor::fast_sigmoid);
         self.push(value, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::tanh);
+        let value = self.value(a).map(crate::tensor::fast_tanh);
         self.push(value, Op::Tanh(a))
     }
 
@@ -368,6 +377,12 @@ impl Tape {
         assert_eq!(self.value(loss).shape(), (1, 1), "backward expects a scalar loss");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        // Transposed right operands of matmuls, memoized per backward pass.
+        // Parameters dedupe to a single node per tape, so a weight used at
+        // every timestep of a recurrence is transposed once here instead of
+        // once per step. `matmul(g, bᵀ)` runs the same kernel on the same
+        // buffer `matmul_nt(g, b)` would build internally, bit for bit.
+        let mut bt_cache: HashMap<usize, Tensor> = HashMap::new();
 
         for idx in (0..=loss.0).rev() {
             let Some(g) = grads[idx].take() else { continue };
@@ -378,13 +393,25 @@ impl Tape {
                 Op::Constant => {}
                 Op::Param(id) => store.grad_mut(*id).add_assign(&g),
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul_nt(&self.nodes[b.0].value);
-                    let gb = self.nodes[a.0].value.matmul_tn(&g);
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let bt = bt_cache
+                        .entry(b.0)
+                        .or_insert_with(|| self.nodes[b.0].value.transpose());
+                    // Accumulate straight into existing gradient buffers:
+                    // in a recurrence the weight-grad slot exists from the
+                    // first (latest-timestep) step onward, so the other 23
+                    // steps skip a zeroed temporary plus an add pass each.
+                    match &mut grads[a.0] {
+                        Some(existing) => g.matmul_acc(bt, existing),
+                        slot @ None => *slot = Some(g.matmul(bt)),
+                    }
+                    let a_val = &self.nodes[a.0].value;
+                    match &mut grads[b.0] {
+                        Some(existing) => a_val.matmul_tn_acc(&g, existing),
+                        slot @ None => *slot = Some(a_val.matmul_tn(&g)),
+                    }
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
+                    accumulate_ref(&mut grads, *a, &g);
                     accumulate(&mut grads, *b, g);
                 }
                 Op::Sub(a, b) => {
@@ -405,15 +432,15 @@ impl Tape {
                     accumulate(&mut grads, *a, g.scale(*mul));
                 }
                 Op::Sigmoid(a) => {
-                    // y' = y(1-y)
+                    // y' = y(1-y), fused into one pass over g and y.
                     let y = &node.value;
-                    let ga = g.hadamard(&y.map(|v| v * (1.0 - v)));
+                    let ga = g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv));
                     accumulate(&mut grads, *a, ga);
                 }
                 Op::Tanh(a) => {
-                    // y' = 1 - y^2
+                    // y' = 1 - y^2, fused into one pass over g and y.
                     let y = &node.value;
-                    let ga = g.hadamard(&y.map(|v| 1.0 - v * v));
+                    let ga = g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv));
                     accumulate(&mut grads, *a, ga);
                 }
                 Op::ConcatCols { a, b, split } => {
@@ -485,8 +512,9 @@ impl Tape {
                 Op::ColBroadcastMul { m, col } => {
                     let mv = &self.nodes[m.0].value;
                     let cv = &self.nodes[col.0].value;
-                    // gm = g scaled per row by col; gcol = rowwise dot(g, m)
-                    let mut gm = g.clone();
+                    // gm = g scaled per row by col; gcol = rowwise dot(g, m).
+                    // g is not needed afterwards, so scale it in place.
+                    let mut gm = g;
                     let mut gc = Tensor::zeros(cv.rows(), 1);
                     for r in 0..mv.rows() {
                         let s = cv.get(r, 0);
@@ -501,12 +529,21 @@ impl Tape {
                     accumulate(&mut grads, *col, gc);
                 }
                 Op::SliceCols { a, start, end } => {
+                    // Add into the source's gradient columns in place when
+                    // it already exists; sibling slices of one fused gate
+                    // tensor then share a single full-width buffer instead
+                    // of each materializing a mostly-zero copy.
                     let src = &self.nodes[a.0].value;
-                    let mut ga = Tensor::zeros(src.rows(), src.cols());
+                    let ga = grads[a.0].get_or_insert_with(|| {
+                        Tensor::zeros(src.rows(), src.cols())
+                    });
                     for r in 0..src.rows() {
-                        ga.row_mut(r)[*start..*end].copy_from_slice(g.row(r));
+                        for (o, &gv) in
+                            ga.row_mut(r)[*start..*end].iter_mut().zip(g.row(r))
+                        {
+                            *o += gv;
+                        }
                     }
-                    accumulate(&mut grads, *a, ga);
                 }
                 Op::WeightedSoftmaxNll { logits, targets, probs } => {
                     // d loss / d logits = (softmax - w) / n_active for
@@ -572,6 +609,17 @@ fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
     match &mut grads[v.0] {
         Some(existing) => existing.add_assign(&g),
         slot @ None => *slot = Some(g),
+    }
+}
+
+/// Like [`accumulate`], but adds into an existing buffer without taking
+/// ownership; the tensor is cloned only when `v` has no gradient yet.
+/// Lets ops that fan one upstream gradient into several inputs skip an
+/// unconditional `g.clone()`.
+fn accumulate_ref(grads: &mut [Option<Tensor>], v: Var, g: &Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
     }
 }
 
@@ -701,6 +749,24 @@ mod tests {
         let loss = tape.sum_all(s);
         tape.backward(loss, &mut store);
         assert_eq!(store.grad(w).data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_allows_reuse() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[vec![1.0, 1.0]]));
+        let mut tape = Tape::new();
+        for _ in 0..3 {
+            tape.clear();
+            let wv = tape.param(&store, w);
+            let s = tape.add(wv, wv);
+            let loss = tape.sum_all(s);
+            tape.backward(loss, &mut store);
+        }
+        // Three backward passes of d(sum(w + w))/dw = 2 accumulate to 6,
+        // and the cleared tape re-registers the param node each time.
+        assert_eq!(store.grad(w).data(), &[6.0, 6.0]);
+        assert_eq!(tape.len(), 3);
     }
 
     #[test]

@@ -6,7 +6,207 @@
 //! flat and two-dimensional keeps the hot loops simple enough for the
 //! compiler to vectorize.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Multiply-add count above which a matmul is split across the rayon pool.
+///
+/// Below this the whole product runs on the calling thread: pool dispatch
+/// costs a few microseconds, so parallelising e.g. a GRU-step `(32, 48) @
+/// (48, 144)` product (~220k madds, tens of microseconds of work) would
+/// mostly buy overhead. The decoder vocabulary projection and the batched
+/// backward products sit comfortably above the threshold.
+const PAR_FLOP_THRESHOLD: usize = 1 << 19;
+
+/// Output rows fused per pass in the register-blocked micro-kernels.
+///
+/// Grouping rows lets one streamed load of a `b` row feed several
+/// accumulator rows. Per output element the `k` accumulation order is
+/// unchanged, so any row grouping produces bit-identical results.
+const MR: usize = 4;
+
+/// Output columns per register tile in the matmul micro-kernels. An
+/// `MR x NR` f32 accumulator block (4x16) fits comfortably in SIMD
+/// registers on AVX2 and AVX-512.
+const NR: usize = 16;
+
+/// Square tile edge for the cache-blocked transpose.
+const TRANSPOSE_BLOCK: usize = 32;
+
+/// Branch-free single-precision `e^x` (Cephes polynomial over a reduced
+/// range plus an exponent rebuild through the float bit pattern).
+///
+/// Accurate to ~2 ulp over the finite range and clamped outside it. Every
+/// step is a SIMD-friendly primitive, so `map`-style loops over a buffer
+/// auto-vectorize where libm's `expf` would stay a scalar call.
+#[inline]
+pub(crate) fn fast_exp(x: f32) -> f32 {
+    let x = x.clamp(-88.376_26, 88.376_26);
+    let fx = (x * std::f32::consts::LOG2_E + 0.5).floor();
+    // Two-part ln(2) split keeps the range reduction exact in f32.
+    let x = x - fx * 0.693_359_4 - fx * -2.121_944_4e-4;
+    let z = x * x;
+    let mut y = 1.987_569_2e-4f32;
+    y = y * x + 1.398_199_9e-3;
+    y = y * x + 8.333_452e-3;
+    y = y * x + 4.166_579_6e-2;
+    y = y * x + 1.666_666_5e-1;
+    y = y * x + 5.000_000_1e-1;
+    y = y * z + x + 1.0;
+    let pow2n = f32::from_bits((((fx as i32) + 127) << 23) as u32);
+    y * pow2n
+}
+
+/// Logistic sigmoid built on [`fast_exp`].
+#[inline]
+pub(crate) fn fast_sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fast_exp(-x))
+}
+
+/// `tanh` built on [`fast_exp`]: `1 − 2 / (e^{2x} + 1)`.
+///
+/// Absolute error stays at the ~1e-7 level everywhere (the formulation
+/// avoids computing `e^{2x} − 1`, so there is no cancellation blow-up
+/// near zero), which is below f32 round-off noise for network activations.
+#[inline]
+pub(crate) fn fast_tanh(x: f32) -> f32 {
+    1.0 - 2.0 / (fast_exp(2.0 * x) + 1.0)
+}
+
+/// Row count per parallel task: a multiple of [`MR`], sized for a few
+/// tasks per worker so the atomic-counter scheduler can balance load.
+fn par_row_chunk(m: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    let target = m.div_ceil(threads * 2).max(1);
+    target.div_ceil(MR) * MR
+}
+
+/// Computes a block of output rows of `A @ B` into `out`.
+///
+/// `a` holds the matching rows of `A` (`out.len() / n` rows of `k_dim`
+/// values); `b` is all of `B` (`k_dim x n`). Each output element
+/// accumulates over `k` in increasing order with one fused
+/// multiply-per-step, so serial, tiled and row-parallel invocations agree
+/// bit-for-bit.
+fn mm_nn_block(a: &[f32], k_dim: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let mut r = 0;
+    while r + MR <= rows {
+        // Full MR x NR tiles: the 4x16 accumulator block lives in
+        // registers across the whole k loop, so output elements are
+        // touched once instead of read-modified-written per k step.
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for k in 0..k_dim {
+                let bv = &b[k * n + j..k * n + j + NR];
+                for (i, acc_row) in acc.iter_mut().enumerate() {
+                    let c = a[(r + i) * k_dim + k];
+                    for (slot, &bx) in acc_row.iter_mut().zip(bv) {
+                        *slot += c * bx;
+                    }
+                }
+            }
+            for (i, acc_row) in acc.iter().enumerate() {
+                let dst = &mut out[(r + i) * n + j..(r + i) * n + j + NR];
+                for (o, &v) in dst.iter_mut().zip(acc_row) {
+                    *o += v;
+                }
+            }
+            j += NR;
+        }
+        // Ragged column tail: stream b rows through the remaining columns.
+        if j < n {
+            for k in 0..k_dim {
+                let b_tail = &b[k * n + j..(k + 1) * n];
+                for i in 0..MR {
+                    let c = a[(r + i) * k_dim + k];
+                    let dst = &mut out[(r + i) * n + j..(r + i + 1) * n];
+                    for (o, &bv) in dst.iter_mut().zip(b_tail) {
+                        *o += c * bv;
+                    }
+                }
+            }
+        }
+        r += MR;
+    }
+    while r < rows {
+        let out_row = &mut out[r * n..(r + 1) * n];
+        let a_row = &a[r * k_dim..(r + 1) * k_dim];
+        for (k, &c) in a_row.iter().enumerate() {
+            let b_row = &b[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += c * bv;
+            }
+        }
+        r += 1;
+    }
+}
+
+/// Computes output rows `[row0, row0 + out.len() / n)` of `A^T @ B` into
+/// `out`, where `a` is the untransposed `(k_dim, a_cols)` matrix.
+///
+/// Same register blocking and `k` ordering as [`mm_nn_block`]; the
+/// coefficients are just gathered down a column of `a` instead of along a
+/// row.
+fn mm_tn_block(a: &[f32], a_cols: usize, row0: usize, k_dim: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let mut r = 0;
+    while r + MR <= rows {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for k in 0..k_dim {
+                let bv = &b[k * n + j..k * n + j + NR];
+                let base = k * a_cols + row0 + r;
+                for (i, acc_row) in acc.iter_mut().enumerate() {
+                    let c = a[base + i];
+                    for (slot, &bx) in acc_row.iter_mut().zip(bv) {
+                        *slot += c * bx;
+                    }
+                }
+            }
+            for (i, acc_row) in acc.iter().enumerate() {
+                let dst = &mut out[(r + i) * n + j..(r + i) * n + j + NR];
+                for (o, &v) in dst.iter_mut().zip(acc_row) {
+                    *o += v;
+                }
+            }
+            j += NR;
+        }
+        if j < n {
+            for k in 0..k_dim {
+                let b_tail = &b[k * n + j..(k + 1) * n];
+                let base = k * a_cols + row0 + r;
+                for i in 0..MR {
+                    let c = a[base + i];
+                    let dst = &mut out[(r + i) * n + j..(r + i + 1) * n];
+                    for (o, &bv) in dst.iter_mut().zip(b_tail) {
+                        *o += c * bv;
+                    }
+                }
+            }
+        }
+        r += MR;
+    }
+    while r < rows {
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for k in 0..k_dim {
+            let c = a[k * a_cols + row0 + r];
+            let b_row = &b[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += c * bv;
+            }
+        }
+        r += 1;
+    }
+}
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -144,9 +344,10 @@ impl Tensor {
 
     /// Matrix product `self @ other`.
     ///
-    /// Straightforward ikj-ordered triple loop: the inner loop runs over
-    /// contiguous memory in both the output row and the `other` row, which
-    /// auto-vectorizes well at the (≤ a few hundred) dimensions used here.
+    /// Register-blocked [`MR`]-row micro-kernel; large products are split
+    /// over output-row blocks on the rayon pool. Per output element the
+    /// `k` accumulation order is fixed, so the serial and parallel paths
+    /// return bit-identical tensors.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
@@ -156,22 +357,45 @@ impl Tensor {
             "matmul shape mismatch: ({}, {}) @ ({}, {})",
             self.rows, self.cols, other.rows, other.cols
         );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        self.matmul_with(other, m * k * n >= PAR_FLOP_THRESHOLD)
+    }
+
+    /// [`Tensor::matmul`] with the kernel path chosen explicitly. The two
+    /// paths are bit-identical; tests exercise both on the same inputs.
+    pub fn matmul_with(&self, other: &Tensor, parallel: bool) -> Tensor {
         let mut out = Tensor::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out, parallel);
         out
+    }
+
+    /// `out += self @ other` without allocating a temporary.
+    ///
+    /// Gradient accumulation sites call this to fold a product straight
+    /// into an existing buffer, skipping the zeroed temporary and the
+    /// extra add pass. The kernels always accumulate into `out`, so this
+    /// is the same code path as [`Tensor::matmul`] minus the fresh zeros.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_acc(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, other.rows, "matmul_acc inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul_acc output shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        self.matmul_into(other, out, m * k * n >= PAR_FLOP_THRESHOLD);
+    }
+
+    fn matmul_into(&self, other: &Tensor, out: &mut Tensor, parallel: bool) {
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        if parallel && m > 0 && n > 0 {
+            let chunk_rows = par_row_chunk(m);
+            out.data.par_chunks_mut(chunk_rows * n).enumerate_for_each(|idx, chunk| {
+                let row0 = idx * chunk_rows;
+                mm_nn_block(&self.data[row0 * k..], k, &other.data, n, chunk);
+            });
+        } else {
+            mm_nn_block(&self.data, k, &other.data, n, &mut out.data);
+        }
     }
 
     /// `self^T @ other` without materializing the transpose.
@@ -181,22 +405,39 @@ impl Tensor {
             "matmul_tn shape mismatch: ({}, {})^T @ ({}, {})",
             self.rows, self.cols, other.rows, other.cols
         );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        self.matmul_tn_with(other, m * k * n >= PAR_FLOP_THRESHOLD)
+    }
+
+    /// [`Tensor::matmul_tn`] with the kernel path chosen explicitly.
+    pub fn matmul_tn_with(&self, other: &Tensor, parallel: bool) -> Tensor {
         let mut out = Tensor::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = &other.data[k * n..(k + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_tn_into(other, &mut out, parallel);
         out
+    }
+
+    /// `out += selfᵀ @ other` without allocating a temporary (the
+    /// transpose-A analogue of [`Tensor::matmul_acc`]).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_tn_acc(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rows, other.rows, "matmul_tn_acc inner dimension mismatch");
+        assert_eq!(out.shape(), (self.cols, other.cols), "matmul_tn_acc output shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        self.matmul_tn_into(other, out, m * k * n >= PAR_FLOP_THRESHOLD);
+    }
+
+    fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor, parallel: bool) {
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        if parallel && m > 0 && n > 0 {
+            let chunk_rows = par_row_chunk(m);
+            out.data.par_chunks_mut(chunk_rows * n).enumerate_for_each(|idx, chunk| {
+                mm_tn_block(&self.data, m, idx * chunk_rows, k, &other.data, n, chunk);
+            });
+        } else {
+            mm_tn_block(&self.data, m, 0, k, &other.data, n, &mut out.data);
+        }
     }
 
     /// `self @ other^T` without materializing the transpose.
@@ -206,29 +447,52 @@ impl Tensor {
             "matmul_nt shape mismatch: ({}, {}) @ ({}, {})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        self.matmul_nt_with(other, m * k * n >= PAR_FLOP_THRESHOLD)
+    }
+
+    /// [`Tensor::matmul_nt`] with the kernel path chosen explicitly.
+    pub fn matmul_nt_with(&self, other: &Tensor, parallel: bool) -> Tensor {
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        // One blocked transpose of `other` turns the k-reduction dots —
+        // which serialize on FMA latency — into the streaming row-update
+        // form of `mm_nn_block`. The nn kernel accumulates each element
+        // over k in increasing order, exactly the plain dot-product order,
+        // so the rewrite (and the row split) changes no bits.
+        let bt = other.transpose();
+        let mut out = Tensor::zeros(m, n);
+        if parallel && m > 0 && n > 0 {
+            let chunk_rows = par_row_chunk(m);
+            out.data.par_chunks_mut(chunk_rows * n).enumerate_for_each(|idx, chunk| {
+                let row0 = idx * chunk_rows;
+                mm_nn_block(&self.data[row0 * k..], k, &bt.data, n, chunk);
+            });
+        } else {
+            mm_nn_block(&self.data, k, &bt.data, n, &mut out.data);
         }
         out
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose, copying in [`TRANSPOSE_BLOCK`]-square tiles
+    /// so both the read and write sides stay within a cache-friendly
+    /// footprint even for tall or wide matrices.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        const B: usize = TRANSPOSE_BLOCK;
+        let mut rb = 0;
+        while rb < self.rows {
+            let r_end = (rb + B).min(self.rows);
+            let mut cb = 0;
+            while cb < self.cols {
+                let c_end = (cb + B).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+                cb = c_end;
             }
+            rb = r_end;
         }
         out
     }
@@ -239,6 +503,19 @@ impl Tensor {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise map over two same-shape tensors in a single pass.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -263,29 +540,17 @@ impl Tensor {
 
     /// Element-wise sum, returning a new tensor.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        let mut out = self.clone();
-        out.add_assign(other);
-        out
+        self.zip_map(other, |a, b| a + b)
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
-        let mut out = self.clone();
-        for (a, &b) in out.data.iter_mut().zip(&other.data) {
-            *a -= b;
-        }
-        out
+        self.zip_map(other, |a, b| a - b)
     }
 
     /// Element-wise (Hadamard) product.
     pub fn hadamard(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let mut out = self.clone();
-        for (a, &b) in out.data.iter_mut().zip(&other.data) {
-            *a *= b;
-        }
-        out
+        self.zip_map(other, |a, b| a * b)
     }
 
     /// Scalar multiple.
@@ -405,7 +670,7 @@ pub fn softmax_in_place(row: &mut [f32]) {
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0;
     for x in row.iter_mut() {
-        *x = (*x - max).exp();
+        *x = fast_exp(*x - max);
         sum += *x;
     }
     if sum > 0.0 {
@@ -458,6 +723,68 @@ mod tests {
     fn transpose_involution() {
         let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// Deterministic pseudo-random fill that exercises non-trivial float
+    /// values without needing an RNG dependency in unit tests.
+    fn varied(rows: usize, cols: usize, salt: u32) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                (h % 2000) as f32 / 313.0 - 3.0
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn serial_and_parallel_matmul_are_bit_identical() {
+        // Shapes straddle the MR blocking and chunk boundaries.
+        for &(m, k, n) in &[(1, 7, 5), (4, 4, 4), (33, 17, 29), (70, 23, 41)] {
+            let a = varied(m, k, 1);
+            let b = varied(k, n, 2);
+            let bt = varied(n, k, 3);
+            assert_eq!(a.matmul_with(&b, false), a.matmul_with(&b, true), "nn {m}x{k}x{n}");
+            assert_eq!(a.matmul_nt_with(&bt, false), a.matmul_nt_with(&bt, true), "nt {m}x{k}x{n}");
+            let at = varied(k, m, 4);
+            assert_eq!(at.matmul_tn_with(&b, false), at.matmul_tn_with(&b, true), "tn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_handles_degenerate_dims() {
+        let a = Tensor::zeros(0, 5);
+        let b = Tensor::zeros(5, 3);
+        assert_eq!(a.matmul(&b).shape(), (0, 3));
+        let a = Tensor::zeros(3, 0);
+        let b = Tensor::zeros(0, 2);
+        assert_eq!(a.matmul(&b), Tensor::zeros(3, 2));
+        let a = Tensor::zeros(2, 4);
+        let b = Tensor::zeros(4, 0);
+        assert_eq!(a.matmul(&b).shape(), (2, 0));
+    }
+
+    #[test]
+    fn large_matmul_crosses_parallel_threshold_and_matches_serial() {
+        // 96 * 80 * 96 = 737k madds > PAR_FLOP_THRESHOLD, so plain
+        // matmul takes the pool path; compare against the forced-serial one.
+        let a = varied(96, 80, 7);
+        let b = varied(80, 96, 8);
+        assert!(96 * 80 * 96 >= super::PAR_FLOP_THRESHOLD);
+        assert_eq!(a.matmul(&b), a.matmul_with(&b, false));
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_beyond_one_tile() {
+        // 70x45 spans multiple TRANSPOSE_BLOCK tiles with ragged edges.
+        let a = varied(70, 45, 9);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (45, 70));
+        for r in 0..70 {
+            for c in 0..45 {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
     }
 
     #[test]
@@ -517,5 +844,34 @@ mod tests {
     fn norm_is_frobenius() {
         let a = Tensor::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
         assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_activations_track_libm() {
+        // Dense sweep over the range activations actually see. The tape's
+        // gradient checks tolerate ~1e-2; the polynomial approximations
+        // must sit orders of magnitude below that.
+        let mut x = -20.0f32;
+        while x <= 20.0 {
+            let e = fast_exp(x);
+            if x.abs() <= 8.0 {
+                let rel = (e - x.exp()).abs() / x.exp().max(f32::MIN_POSITIVE);
+                assert!(rel < 3e-7, "exp({x}): rel err {rel}");
+            }
+            let s = fast_sigmoid(x);
+            assert!((s - 1.0 / (1.0 + (-x).exp())).abs() < 1e-6, "sigmoid({x})");
+            assert!((0.0..=1.0).contains(&s), "sigmoid({x}) out of range");
+            let t = fast_tanh(x);
+            assert!((t - x.tanh()).abs() < 1e-6, "tanh({x})");
+            assert!((-1.0..=1.0).contains(&t), "tanh({x}) out of range");
+            x += 0.0037;
+        }
+        // Saturation and edge behaviour.
+        assert_eq!(fast_tanh(0.0), 0.0);
+        assert_eq!(fast_sigmoid(0.0), 0.5);
+        assert!((fast_tanh(100.0) - 1.0).abs() < 1e-6);
+        assert!((fast_tanh(-100.0) + 1.0).abs() < 1e-6);
+        assert!(fast_exp(-200.0) >= 0.0 && fast_exp(-200.0) < 1e-30);
+        assert!(fast_exp(200.0).is_finite(), "clamped, must not overflow to inf bits");
     }
 }

@@ -290,3 +290,134 @@ fn dot_attention_grads() {
         tape.sum_all(sq)
     });
 }
+
+/// The fused-gate cell must be mathematically identical to the textbook
+/// unfused formulation. Builds the unfused graph from primitive ops with
+/// per-gate weights sliced out of the fused tensors, and compares both the
+/// forward output and every parameter gradient block.
+#[test]
+fn fused_gru_matches_unfused_reference() {
+    use traj_nn::tape::Tape;
+
+    let (input, hidden, batch) = (3usize, 4usize, 2usize);
+    let mut rng = StdRng::seed_from_u64(30);
+    let mut store = ParamStore::new();
+    let cell = GruCell::new(&mut store, "cell", input, hidden, &mut rng);
+
+    // Give the biases non-trivial values so their gradients are exercised
+    // at a generic point. The r/z blocks of b_h stay zero — that is the
+    // fused encoding of the unfused form, which has no such biases.
+    {
+        let mut bias_rng = StdRng::seed_from_u64(31);
+        let bx = Init::Uniform(0.5).tensor(1, 3 * hidden, &mut bias_rng);
+        *store.get_mut(cell.b_x()) = bx;
+        let bh = store.get_mut(cell.b_h());
+        for c in 2 * hidden..3 * hidden {
+            bh.set(0, c, 0.3 * (c as f32 - 10.0) / 4.0);
+        }
+    }
+
+    let x = Init::Uniform(0.9).tensor(batch, input, &mut StdRng::seed_from_u64(32));
+    let h0 = Init::Uniform(0.9).tensor(batch, hidden, &mut StdRng::seed_from_u64(33));
+
+    // --- fused pass ---
+    let mut tape = Tape::new();
+    let xv = tape.constant(x.clone());
+    let hv = tape.constant(h0.clone());
+    let h1 = cell.step(&mut tape, &store, xv, hv);
+    let fused_out = tape.value(h1).clone();
+    let loss = tape.mean_all(h1);
+    tape.backward(loss, &mut store);
+
+    let col_block = |t: &Tensor, lo: usize, hi: usize| -> Tensor {
+        let mut out = Tensor::zeros(t.rows(), hi - lo);
+        for r in 0..t.rows() {
+            out.row_mut(r).copy_from_slice(&t.row(r)[lo..hi]);
+        }
+        out
+    };
+    let h3 = 3 * hidden;
+    let wx = store.get(cell.w_x()).clone();
+    let wh = store.get(cell.w_h()).clone();
+    let bx = store.get(cell.b_x()).clone();
+    let bh = store.get(cell.b_h()).clone();
+
+    // --- unfused reference: per-gate params carved out of the fused ones ---
+    let mut rstore = ParamStore::new();
+    let w_xr = rstore.add("w_xr", col_block(&wx, 0, hidden));
+    let w_xz = rstore.add("w_xz", col_block(&wx, hidden, 2 * hidden));
+    let w_xn = rstore.add("w_xn", col_block(&wx, 2 * hidden, h3));
+    let w_hr = rstore.add("w_hr", col_block(&wh, 0, hidden));
+    let w_hz = rstore.add("w_hz", col_block(&wh, hidden, 2 * hidden));
+    let w_hn = rstore.add("w_hn", col_block(&wh, 2 * hidden, h3));
+    let b_r = rstore.add("b_r", col_block(&bx, 0, hidden));
+    let b_z = rstore.add("b_z", col_block(&bx, hidden, 2 * hidden));
+    let b_xn = rstore.add("b_xn", col_block(&bx, 2 * hidden, h3));
+    let b_hn = rstore.add("b_hn", col_block(&bh, 2 * hidden, h3));
+
+    let mut rtape = Tape::new();
+    let xv = rtape.constant(x);
+    let hv = rtape.constant(h0);
+    let gate = |tape: &mut Tape, store: &ParamStore, wxi, whi, bi| {
+        let wxv = tape.param(store, wxi);
+        let whv = tape.param(store, whi);
+        let bv = tape.param(store, bi);
+        let xs = tape.matmul(xv, wxv);
+        let hs = tape.matmul(hv, whv);
+        let sum = tape.add(xs, hs);
+        tape.add_row_broadcast(sum, bv)
+    };
+    let r_pre = gate(&mut rtape, &rstore, w_xr, w_hr, b_r);
+    let r = rtape.sigmoid(r_pre);
+    let z_pre = gate(&mut rtape, &rstore, w_xz, w_hz, b_z);
+    let z = rtape.sigmoid(z_pre);
+    let wxnv = rtape.param(&rstore, w_xn);
+    let bxnv = rtape.param(&rstore, b_xn);
+    let whnv = rtape.param(&rstore, w_hn);
+    let bhnv = rtape.param(&rstore, b_hn);
+    let xn = rtape.matmul(xv, wxnv);
+    let xn = rtape.add_row_broadcast(xn, bxnv);
+    let hn = rtape.matmul(hv, whnv);
+    let hn = rtape.add_row_broadcast(hn, bhnv);
+    let rh = rtape.hadamard(r, hn);
+    let n_pre = rtape.add(xn, rh);
+    let n = rtape.tanh(n_pre);
+    let omz = rtape.one_minus(z);
+    let a = rtape.hadamard(omz, n);
+    let b = rtape.hadamard(z, hv);
+    let h1_ref = rtape.add(a, b);
+    let ref_out = rtape.value(h1_ref).clone();
+    let rloss = rtape.mean_all(h1_ref);
+    rtape.backward(rloss, &mut rstore);
+
+    // Forward outputs agree.
+    for (f, r) in fused_out.data().iter().zip(ref_out.data()) {
+        assert!((f - r).abs() < 1e-6, "fused forward {f} vs unfused {r}");
+    }
+
+    // Each fused gradient block agrees with its per-gate counterpart.
+    let assert_block = |fused: &Tensor, lo: usize, hi: usize, reference: &Tensor, what: &str| {
+        let block = col_block(fused, lo, hi);
+        for (i, (f, r)) in block.data().iter().zip(reference.data()).enumerate() {
+            assert!((f - r).abs() < 1e-3, "{what} grad mismatch at {i}: fused {f} vs unfused {r}");
+        }
+    };
+    let gwx = store.grad(cell.w_x()).clone();
+    let gwh = store.grad(cell.w_h()).clone();
+    let gbx = store.grad(cell.b_x()).clone();
+    let gbh = store.grad(cell.b_h()).clone();
+    assert_block(&gwx, 0, hidden, rstore.grad(w_xr), "w_xr");
+    assert_block(&gwx, hidden, 2 * hidden, rstore.grad(w_xz), "w_xz");
+    assert_block(&gwx, 2 * hidden, h3, rstore.grad(w_xn), "w_xn");
+    assert_block(&gwh, 0, hidden, rstore.grad(w_hr), "w_hr");
+    assert_block(&gwh, hidden, 2 * hidden, rstore.grad(w_hz), "w_hz");
+    assert_block(&gwh, 2 * hidden, h3, rstore.grad(w_hn), "w_hn");
+    assert_block(&gbx, 0, hidden, rstore.grad(b_r), "b_r");
+    assert_block(&gbx, hidden, 2 * hidden, rstore.grad(b_z), "b_z");
+    assert_block(&gbx, 2 * hidden, h3, rstore.grad(b_xn), "b_xn");
+    assert_block(&gbh, 2 * hidden, h3, rstore.grad(b_hn), "b_hn");
+    // The r/z blocks of b_h feed the same pre-activations as b_x's, so
+    // their gradients must match b_r / b_z as well.
+    assert_block(&gbh, 0, hidden, rstore.grad(b_r), "b_h[r]");
+    assert_block(&gbh, hidden, 2 * hidden, rstore.grad(b_z), "b_h[z]");
+}

@@ -1,12 +1,20 @@
 //! Property-based invariants of the tensor algebra and the DEC math.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use traj_nn::tape::{student_t_assignment, target_distribution};
 use traj_nn::{ParamStore, Tape, Tensor};
 
 fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-3.0f32..3.0, rows * cols)
         .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+/// Random tensor of a shape decided at runtime (shapes themselves are
+/// generated per case, which `prop::collection::vec` can't express).
+fn random_tensor(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
 }
 
 proptest! {
@@ -43,6 +51,46 @@ proptest! {
         for (x, y) in fused.data().iter().zip(explicit.data()) {
             prop_assert!((x - y).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial(
+        m in 0usize..9,
+        k in 0usize..9,
+        n in 0usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        // Small shapes sweep every degenerate case (0 rows, 0 inner dim,
+        // 0/1 columns) and every MR-remainder. Bit-for-bit equality, not
+        // approximate: the parallel path must accumulate in the same order.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        prop_assert_eq!(a.matmul_with(&b, false), a.matmul_with(&b, true));
+        prop_assert_eq!(a.matmul(&b), a.matmul_with(&b, false));
+        let bt = random_tensor(n, k, &mut rng);
+        prop_assert_eq!(a.matmul_nt_with(&bt, false), a.matmul_nt_with(&bt, true));
+        let at = random_tensor(k, m, &mut rng);
+        prop_assert_eq!(at.matmul_tn_with(&b, false), at.matmul_tn_with(&b, true));
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_across_chunk_boundaries(
+        m in 30usize..90,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        // Larger row counts split into several worker chunks with ragged
+        // trailing blocks; results must still be bit-identical.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        prop_assert_eq!(a.matmul_with(&b, false), a.matmul_with(&b, true));
+        let bt = random_tensor(n, k, &mut rng);
+        prop_assert_eq!(a.matmul_nt_with(&bt, false), a.matmul_nt_with(&bt, true));
+        let at = random_tensor(k, m, &mut rng);
+        prop_assert_eq!(at.matmul_tn_with(&b, false), at.matmul_tn_with(&b, true));
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md) plus a bench smoke-run.
+#
+#   build  — release build of the whole workspace
+#   test   — full test suite (unit + integration + proptests + gradchecks)
+#   bench  — bench_nn in --test mode: every benchmark body runs once so the
+#            harness, kernels, and the unfused reference stay compilable and
+#            panic-free without paying for a full measurement run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench -p e2dtc-bench --bench bench_nn -- --test
+
+echo "tier1: OK"

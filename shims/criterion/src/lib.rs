@@ -1,0 +1,304 @@
+//! Offline shim replacing the `criterion` crate for this workspace.
+//!
+//! Implements the harness subset the `e2dtc-bench` benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`] with
+//! `bench_function` / `benchmark_group`, groups with `sample_size` /
+//! `bench_with_input` / `finish`, [`BenchmarkId`], and `Bencher::iter`.
+//!
+//! Mode follows real criterion's convention for `harness = false`
+//! targets: when the binary receives `--bench` (what `cargo bench`
+//! passes) it measures and reports; otherwise — including
+//! `cargo bench -- --test` and `cargo test --benches`, which pass
+//! `--test` — each benchmark body runs once as a smoke test.
+//!
+//! Measurement is a plain warm-up + fixed-sample-count wall-clock timer
+//! (no outlier analysis or HTML reports); it prints min / median / mean
+//! per benchmark, which is enough to compare kernels before and after an
+//! optimisation on the same machine.
+
+use std::time::{Duration, Instant};
+
+/// Returns true when the binary should actually measure (invoked by
+/// `cargo bench`, i.e. with `--bench` and without `--test`).
+fn measuring() -> bool {
+    let mut saw_bench = false;
+    for a in std::env::args() {
+        match a.as_str() {
+            "--bench" => saw_bench = true,
+            "--test" => return false,
+            _ => {}
+        }
+    }
+    saw_bench
+}
+
+/// Optional substring filters from the command line (any bare argument
+/// that is not a flag); empty means "run everything".
+fn filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure: bool,
+    filters: Vec<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measure: measuring(),
+            filters: filters(),
+            sample_size: 60,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run(id.to_string(), sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run(&mut self, id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|flt| id.contains(flt.as_str())) {
+            return;
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(report) if self.measure => {
+                println!(
+                    "{id:<44} time: [{} {} {}]  ({} samples x {} iters)",
+                    fmt_time(report.min),
+                    fmt_time(report.median),
+                    fmt_time(report.mean),
+                    report.samples,
+                    report.iters_per_sample,
+                );
+            }
+            _ => println!("Testing {id} ... ok"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(full, sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I, ID: IntoBenchmarkId, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (`name/parameter`), mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Values usable as benchmark ids.
+pub trait IntoBenchmarkId {
+    /// Converts to a concrete [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+struct Report {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Timing loop handle passed to each benchmark body.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times the routine (or runs it once in smoke-test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+
+        // Warm-up and per-iteration estimate: run for ~0.4s.
+        let warmup = Duration::from_millis(400);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size samples so total measurement lands near ~1.5s.
+        let budget = 1.5f64;
+        let per_sample = budget / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / est_iter).round() as u64).max(1);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.report = Some(Report {
+            min,
+            median,
+            mean,
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} \u{b5}s", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the workspace benches use).
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        // Unit tests never see `--bench`, so this exercises smoke mode.
+        let mut c = Criterion::default();
+        assert!(!c.measure);
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_ids_join_with_slash() {
+        assert_eq!(BenchmarkId::new("pam", 64).into_benchmark_id().id, "pam/64");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(fmt_time(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

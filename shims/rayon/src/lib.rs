@@ -1,0 +1,564 @@
+//! Offline shim implementing the subset of the `rayon` API this workspace
+//! uses, backed by a persistent worker-thread pool with dynamic task
+//! scheduling.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal replacements for external dependencies under `shims/`.
+//! This one provides real data parallelism:
+//!
+//! - `(range | vec | slice).into_par_iter() / par_iter()` followed by
+//!   `map` / `filter` chains and `collect` / `min_by` / `max_by` / `sum` /
+//!   `for_each` terminals;
+//! - `slice.par_chunks_mut(n).for_each(..)` (used by the tiled matmul);
+//! - [`join`] for two-way fork-join;
+//! - [`current_num_threads`], honouring `RAYON_NUM_THREADS`.
+//!
+//! Scheduling: worker threads are spawned once and parked on a condvar,
+//! so dispatch latency is a wake-up rather than a thread spawn — this is
+//! what makes parallelising sub-millisecond kernels (the tiled matmul row
+//! blocks) profitable. Tasks are pulled off a shared atomic counter, so
+//! threads that finish early steal the remaining work — cheap dynamic
+//! load balancing in the spirit of rayon's work stealing. Nested
+//! parallel calls (from inside a worker or an active caller) run inline
+//! serially instead of deadlocking, mirroring how rayon degrades.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Everything a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut, Pipeline,
+    };
+}
+
+/// Number of worker threads used by every parallel operation.
+///
+/// Reads `RAYON_NUM_THREADS` once; defaults to the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+/// The persistent pool: workers parked on a condvar, one broadcast job
+/// slot, an atomic task counter per job.
+mod pool {
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// Per-job state shared between the caller and the workers. Lives on
+    /// the caller's stack; the caller does not return until every worker
+    /// has signalled completion, so the raw pointer handed to workers
+    /// never dangles while in use.
+    struct Shared {
+        /// Lifetime-erased borrow of the caller's closure; valid because
+        /// the caller outlives the job (see `run`).
+        f: &'static (dyn Fn(usize) + Sync),
+        next: AtomicUsize,
+        n_tasks: usize,
+        panicked: AtomicBool,
+        remaining: Mutex<usize>,
+        done: Condvar,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Job {
+        seq: u64,
+        /// `*const Shared` smuggled as usize (thin pointer).
+        shared: usize,
+    }
+
+    struct Pool {
+        workers: usize,
+        job: Mutex<Job>,
+        work_cv: Condvar,
+        /// Serializes concurrent parallel ops from independent threads and
+        /// hands out job sequence numbers.
+        run_lock: Mutex<u64>,
+    }
+
+    thread_local! {
+        /// True on pool workers and on callers currently inside `run`;
+        /// nested parallelism degrades to inline serial execution.
+        static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    }
+
+    fn get() -> &'static Pool {
+        static P: OnceLock<Pool> = OnceLock::new();
+        P.get_or_init(|| {
+            let workers = super::current_num_threads().saturating_sub(1);
+            let pool = Pool {
+                workers,
+                job: Mutex::new(Job { seq: 0, shared: 0 }),
+                work_cv: Condvar::new(),
+                run_lock: Mutex::new(0),
+            };
+            pool
+        })
+    }
+
+    /// Lazily spawns the detached worker threads (only once).
+    fn ensure_workers(pool: &'static Pool) {
+        static SPAWNED: OnceLock<()> = OnceLock::new();
+        SPAWNED.get_or_init(|| {
+            for w in 0..pool.workers {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{w}"))
+                    .spawn(move || worker_loop(pool))
+                    .expect("rayon shim: failed to spawn worker");
+            }
+        });
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        IN_PARALLEL.with(|f| f.set(true));
+        let mut last_seq = 0u64;
+        loop {
+            let job = {
+                let mut guard = pool.job.lock().expect("rayon shim: job lock poisoned");
+                loop {
+                    if guard.seq != last_seq {
+                        break *guard;
+                    }
+                    guard = pool
+                        .work_cv
+                        .wait(guard)
+                        .expect("rayon shim: job lock poisoned");
+                }
+            };
+            last_seq = job.seq;
+            // Safe: the posting caller blocks until `remaining` hits zero,
+            // so `Shared` outlives this use.
+            let shared = unsafe { &*(job.shared as *const Shared) };
+            if catch_unwind(AssertUnwindSafe(|| run_tasks(shared))).is_err() {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut rem = shared
+                .remaining
+                .lock()
+                .expect("rayon shim: completion lock poisoned");
+            *rem -= 1;
+            if *rem == 0 {
+                shared.done.notify_one();
+            }
+        }
+    }
+
+    fn run_tasks(shared: &Shared) {
+        let f = shared.f;
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= shared.n_tasks {
+                break;
+            }
+            f(i);
+        }
+    }
+
+    /// Runs `f(0..n_tasks)` across the pool (caller participates), with
+    /// dynamic assignment of task indices. Falls back to an inline serial
+    /// loop for tiny jobs, single-thread configs, and nested calls.
+    pub fn run(n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        let nested = IN_PARALLEL.with(|g| g.get());
+        if n_tasks == 1 || nested || super::current_num_threads() <= 1 {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        let pool = get();
+        if pool.workers == 0 {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        ensure_workers(pool);
+
+        let mut seq_guard = pool.run_lock.lock().expect("rayon shim: run lock poisoned");
+        *seq_guard += 1;
+        let shared = Shared {
+            // Safe: `run` blocks until every worker is done with the job.
+            f: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+            },
+            next: AtomicUsize::new(0),
+            n_tasks,
+            panicked: AtomicBool::new(false),
+            remaining: Mutex::new(pool.workers),
+            done: Condvar::new(),
+        };
+        {
+            let mut job = pool.job.lock().expect("rayon shim: job lock poisoned");
+            *job = Job { seq: *seq_guard, shared: &shared as *const Shared as usize };
+            pool.work_cv.notify_all();
+        }
+
+        IN_PARALLEL.with(|g| g.set(true));
+        let caller_result = catch_unwind(AssertUnwindSafe(|| run_tasks(&shared)));
+        IN_PARALLEL.with(|g| g.set(false));
+
+        // Wait for every worker before `shared` leaves scope.
+        let mut rem = shared
+            .remaining
+            .lock()
+            .expect("rayon shim: completion lock poisoned");
+        while *rem != 0 {
+            rem = shared.done.wait(rem).expect("rayon shim: completion lock poisoned");
+        }
+        drop(rem);
+        drop(seq_guard);
+
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if shared.panicked.load(Ordering::SeqCst) {
+            panic!("rayon shim: a parallel task panicked on a worker thread");
+        }
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// A lazy parallel pipeline: a materialized item list plus a fused
+/// `filter`/`map` stage applied on worker threads.
+pub struct Pipeline<T, R, F: Fn(T) -> Option<R>> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Minimum items per scheduling chunk; amortizes the atomic fetch.
+const MIN_CHUNK: usize = 16;
+
+impl<T, R, F> Pipeline<T, R, F>
+where
+    T: Sync + Send + Clone,
+    R: Send,
+    F: Fn(T) -> Option<R> + Sync,
+{
+    /// Maps each surviving item through `g` (parallel, like rayon's
+    /// `ParallelIterator::map`).
+    pub fn map<S, G>(self, g: G) -> Pipeline<T, S, impl Fn(T) -> Option<S>>
+    where
+        G: Fn(R) -> S + Sync,
+        S: Send,
+    {
+        let f = self.f;
+        Pipeline { items: self.items, f: move |t| f(t).map(&g) }
+    }
+
+    /// Drops items failing the predicate.
+    pub fn filter<P>(self, p: P) -> Pipeline<T, R, impl Fn(T) -> Option<R>>
+    where
+        P: Fn(&R) -> bool + Sync,
+    {
+        let f = self.f;
+        Pipeline { items: self.items, f: move |t| f(t).filter(|x| p(x)) }
+    }
+
+    /// Executes the pipeline, preserving input order of surviving items.
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let threads = current_num_threads();
+        if threads <= 1 || n <= MIN_CHUNK {
+            return self.items.into_iter().filter_map(self.f).collect();
+        }
+        let chunk = (n / (threads * 8)).max(MIN_CHUNK);
+        let n_chunks = n.div_ceil(chunk);
+        let slots: Vec<Mutex<Vec<Option<R>>>> =
+            (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+        let items = &self.items;
+        let f = &self.f;
+        pool::run(n_chunks, &|ci| {
+            let start = ci * chunk;
+            let end = (start + chunk).min(n);
+            let out: Vec<Option<R>> = items[start..end].iter().map(|t| f(t.clone())).collect();
+            *slots[ci].lock().expect("rayon shim: slot poisoned") = out;
+        });
+        slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().expect("rayon shim: slot poisoned"))
+            .flatten()
+            .collect()
+    }
+
+    /// Collects surviving items in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Minimum by comparator, or `None` when nothing survives.
+    pub fn min_by(self, cmp: impl Fn(&R, &R) -> std::cmp::Ordering) -> Option<R> {
+        self.run().into_iter().min_by(|a, b| cmp(a, b))
+    }
+
+    /// Maximum by comparator, or `None` when nothing survives.
+    pub fn max_by(self, cmp: impl Fn(&R, &R) -> std::cmp::Ordering) -> Option<R> {
+        self.run().into_iter().max_by(|a, b| cmp(a, b))
+    }
+
+    /// Sum of surviving items.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Applies `op` to every surviving item (for its side effects on
+    /// captured state; runs on worker threads).
+    pub fn for_each(self, op: impl Fn(R) + Sync) {
+        self.map(op).run();
+    }
+
+    /// Number of surviving items.
+    pub fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+fn identity_pipeline<T>(items: Vec<T>) -> Pipeline<T, T, fn(T) -> Option<T>> {
+    Pipeline { items, f: Some }
+}
+
+/// Conversion into a parallel pipeline by value, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+    /// Starts a pipeline over the items.
+    #[allow(clippy::type_complexity)]
+    fn into_par_iter(self) -> Pipeline<Self::Item, Self::Item, fn(Self::Item) -> Option<Self::Item>>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> Pipeline<usize, usize, fn(usize) -> Option<usize>> {
+        identity_pipeline(self.collect())
+    }
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Pipeline<T, T, fn(T) -> Option<T>> {
+        identity_pipeline(self)
+    }
+}
+
+/// Conversion into a parallel pipeline over references, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send;
+    /// Starts a pipeline over `&self`'s items.
+    #[allow(clippy::type_complexity)]
+    fn par_iter(&'a self) -> Pipeline<Self::Item, Self::Item, fn(Self::Item) -> Option<Self::Item>>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Pipeline<&'a T, &'a T, fn(&'a T) -> Option<&'a T>> {
+        identity_pipeline(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Pipeline<&'a T, &'a T, fn(&'a T) -> Option<&'a T>> {
+        identity_pipeline(self.iter().collect())
+    }
+}
+
+/// Parallel mutable chunk iteration, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into disjoint mutable chunks of `size` elements (last chunk
+    /// may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { chunks: self.chunks_mut(size).collect() }
+    }
+}
+
+/// Disjoint mutable chunks awaiting a `for_each`.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Runs `op` over every chunk on the worker pool. Chunks are handed
+    /// out dynamically, so uneven per-chunk cost still balances.
+    pub fn for_each(self, op: impl Fn(&mut [T]) + Sync) {
+        self.enumerate_for_each(|_, c| op(c));
+    }
+
+    /// Like [`ParChunksMut::for_each`], passing the chunk index too.
+    pub fn enumerate_for_each(self, op: impl Fn(usize, &mut [T]) + Sync) {
+        let n = self.chunks.len();
+        if current_num_threads() <= 1 || n <= 1 {
+            for (i, c) in self.chunks.into_iter().enumerate() {
+                op(i, c);
+            }
+            return;
+        }
+        // Erase the borrows so tasks can pick chunks by index; each index
+        // is claimed by exactly one task, so exclusivity is preserved.
+        let meta: Vec<(usize, usize)> = self
+            .chunks
+            .into_iter()
+            .map(|c| (c.as_mut_ptr() as usize, c.len()))
+            .collect();
+        let meta = &meta;
+        pool::run(n, &|i| {
+            let (ptr, len) = meta[i];
+            let chunk = unsafe { std::slice::from_raw_parts_mut(ptr as *mut T, len) };
+            op(i, chunk);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn filter_then_map() {
+        let out: Vec<usize> =
+            (0..100).into_par_iter().filter(|i| i % 3 == 0).map(|i| i + 1).collect();
+        let expect: Vec<usize> = (0..100).filter(|i| i % 3 == 0).map(|i| i + 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn min_max_by_match_sequential() {
+        let v: Vec<f64> = (0..500).map(|i| ((i * 37) % 113) as f64).collect();
+        let par_min = v.par_iter().map(|&x| x).min_by(|a, b| a.total_cmp(b));
+        let par_max = v.par_iter().map(|&x| x).max_by(|a, b| a.total_cmp(b));
+        assert_eq!(par_min, v.iter().copied().min_by(|a, b| a.total_cmp(b)));
+        assert_eq!(par_max, v.iter().copied().max_by(|a, b| a.total_cmp(b)));
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: usize = (0..10_000).into_par_iter().sum();
+        assert_eq!(s, (0..10_000).sum());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u32; 1037];
+        data.par_chunks_mut(64).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerate_for_each_sees_correct_indices() {
+        let mut data = vec![0usize; 256];
+        data.par_chunks_mut(16).enumerate_for_each(|i, c| {
+            for x in c {
+                *x = i;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, j / 16);
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn empty_pipeline_is_fine() {
+        let out: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_gracefully() {
+        let out: Vec<usize> = (0..200)
+            .into_par_iter()
+            .map(|i| {
+                let inner: usize = (0..50).into_par_iter().map(|j| i + j).sum();
+                inner
+            })
+            .collect();
+        let expect: Vec<usize> =
+            (0..200).map(|i| (0..50).map(|j| i + j).sum::<usize>()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_callers_from_independent_threads() {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    s.spawn(move || {
+                        let v: usize = (0..5_000).into_par_iter().map(|i| i + t).sum();
+                        v
+                    })
+                })
+                .collect();
+            for (t, h) in handles.into_iter().enumerate() {
+                let got = h.join().unwrap();
+                let expect: usize = (0..5_000).map(|i| i + t).sum();
+                assert_eq!(got, expect);
+            }
+        });
+    }
+
+    #[test]
+    fn repeated_small_jobs_reuse_the_pool() {
+        // Exercises the wake/park path many times; would be prohibitively
+        // slow with per-call thread spawning.
+        for round in 0..2_000usize {
+            let s: usize = (0..64).into_par_iter().map(|i| i * round).sum();
+            assert_eq!(s, (0..64).map(|i| i * round).sum());
+        }
+    }
+}

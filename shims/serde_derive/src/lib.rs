@@ -1,0 +1,325 @@
+//! Offline shim replacing the `serde_derive` proc-macro crate.
+//!
+//! Generates impls of the vendored `serde` shim's `Serialize` /
+//! `Deserialize` value-tree traits. Because the environment has no
+//! crates.io access, this parses the item token stream by hand (no
+//! `syn` / `quote`) and supports exactly the shapes this workspace
+//! derives on: named-field structs (with `#[serde(default)]`),
+//! newtype structs, and unit-variant enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `Serialize` trait (`fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives the shim `Deserialize` trait (`fn from_value(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct S { a: T, #[serde(default)] b: U, ... }`
+    Struct(Vec<Field>),
+    /// `struct S(T);`
+    Newtype,
+    /// `enum E { A, B, ... }`
+    UnitEnum(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (incl. doc comments) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (`{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Struct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde_derive shim: only newtype tuple structs are supported \
+                         (`{name}` has {n} fields)"
+                    );
+                }
+                Item { name, kind: Kind::Newtype }
+            }
+            other => panic!("serde_derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(g.stream(), &name);
+                Item { name, kind: Kind::UnitEnum(variants) }
+            }
+            other => panic!("serde_derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        kw => panic!("serde_derive shim: unsupported item kind `{kw}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]` — attribute; the bracket group is one token.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)` — skip the paren group.
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Scans attributes at position `i`, advancing past them; returns whether a
+/// `#[serde(default)]` was among them.
+fn scan_field_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if matches!(&t, TokenTree::Ident(id) if id.to_string() == "default") {
+                            default = true;
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = scan_field_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // `<` / `>` are loose puncts in the token stream, so generic args
+        // like `HashMap<usize, usize>` need explicit depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        scan_field_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            other => panic!(
+                "serde_derive shim: enum `{enum_name}` variant `{name}` is not a unit \
+                 variant (got {other:?}); only unit-variant enums are supported"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::with_capacity({cap});\n{pushes}\
+                 ::serde::Value::Object(fields)",
+                cap = fields.len()
+            )
+        }
+        Kind::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+        }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fallback = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!("return Err(::serde::Error::missing_field(\"{}\"))", f.name)
+                };
+                inits.push_str(&format!(
+                    "{n}: match v.get_field(\"{n}\") {{\n\
+                        Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                        None => {fallback},\n\
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                     return Err(::serde::Error::type_mismatch(\"object\", v));\n\
+                 }}\n\
+                 Ok(Self {{\n{inits}}})"
+            )
+        }
+        Kind::Newtype => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Kind::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "match v {{\n\
+                    ::serde::Value::Str(s) => match s.as_str() {{\n\
+                        {arms}\
+                        other => Err(::serde::Error::custom(::std::format!(\n\
+                            \"unknown variant `{{}}` of `{name}`\", other))),\n\
+                    }},\n\
+                    other => Err(::serde::Error::type_mismatch(\"string\", other)),\n\
+                }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                {body}\n\
+            }}\n\
+        }}"
+    )
+}
