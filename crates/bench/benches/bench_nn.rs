@@ -117,13 +117,13 @@ struct UnfusedCell {
 impl UnfusedCell {
     fn new(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut StdRng) -> Self {
         let mut w = |store: &mut ParamStore, g: &str, rows: usize| {
-            store.add_init(&format!("{name}.{g}"), rows, hidden, Init::XavierUniform, rng)
+            store.add_init(format!("{name}.{g}"), rows, hidden, Init::XavierUniform, rng)
         };
         let (w_xr, w_hr) = (w(store, "w_xr", input), w(store, "w_hr", hidden));
         let (w_xz, w_hz) = (w(store, "w_xz", input), w(store, "w_hz", hidden));
         let (w_xn, w_hn) = (w(store, "w_xn", input), w(store, "w_hn", hidden));
         let b = |store: &mut ParamStore, g: &str| {
-            store.add(&format!("{name}.{g}"), Tensor::zeros(1, hidden))
+            store.add(format!("{name}.{g}"), Tensor::zeros(1, hidden))
         };
         Self {
             w_xr,

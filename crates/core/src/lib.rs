@@ -46,6 +46,8 @@
 pub mod cell_embedding;
 pub mod config;
 pub mod dec;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod model;
 pub mod persist;
 pub mod seq2seq;
@@ -54,5 +56,6 @@ pub mod t2vec;
 pub mod vocab;
 
 pub use config::{E2dtcConfig, LossMode, SkipGramConfig};
-pub use model::{E2dtc, EpochRecord, FitResult, Phase};
+pub use model::{E2dtc, EpochRecord, FitResult, Phase, TrainingState};
+pub use persist::PersistError;
 pub use t2vec::t2vec_kmeans;

@@ -14,6 +14,28 @@
 //!
 //! [`E2dtc::fit`] runs all three and returns assignments, embeddings, and
 //! the per-epoch history.
+//!
+//! ## Fault tolerance (DESIGN.md §10)
+//!
+//! Training is the single point of failure in the paper's
+//! train-once/serve-forever story, so `fit` is hardened three ways:
+//!
+//! - **Non-finite guards** — every batch's loss and gradients pass
+//!   through a [`traj_nn::NonFiniteGuard`]; a poisoned update is skipped
+//!   (gradients zeroed, no optimizer step), and after
+//!   `guard_patience` consecutive poisoned batches the epoch is replayed
+//!   from an in-memory start-of-epoch snapshot with the learning rate
+//!   multiplied by `guard_lr_backoff`. Recoveries surface in
+//!   [`EpochRecord::skipped_batches`] / [`EpochRecord::rollbacks`].
+//! - **Periodic durable checkpoints** — with `checkpoint_every > 0` and a
+//!   `checkpoint_dir`, a format-v3 checkpoint (atomic write, checksum;
+//!   see [`crate::persist`]) is written after every N completed epochs
+//!   and rotated to the newest `checkpoint_keep_last` files.
+//! - **Resume** — [`E2dtc::resume`] restores model, optimizer, RNG
+//!   stream, and the phase cursor from the last good checkpoint; a
+//!   resumed `fit` continues where the interrupted run stopped and, for
+//!   the same seed, reproduces the uninterrupted run's final assignments
+//!   exactly (pinned by `tests/resume_integration.rs`).
 
 use crate::cell_embedding::train_cell_embeddings;
 use crate::config::{E2dtcConfig, LossMode};
@@ -28,7 +50,16 @@ use traj_data::augment::corrupt;
 use traj_data::{Dataset, Grid, Trajectory};
 use traj_cluster::{kmeans, KMeansConfig, Points};
 use traj_nn::optim::Adam;
-use traj_nn::{student_t_assignment, target_distribution, ParamId, ParamStore, Tape, Tensor};
+use traj_nn::{
+    student_t_assignment, target_distribution, GuardVerdict, NonFiniteGuard, ParamId,
+    ParamStore, Tape, Tensor,
+};
+
+/// Hard cap on guard rollbacks per `fit` call. Replaying an epoch from
+/// the same snapshot with the same RNG stream can reproduce the same
+/// non-finite batch when the instability is deterministic; the budget
+/// turns that pathology into an early stop instead of a livelock.
+const MAX_ROLLBACKS: usize = 8;
 
 /// Which phase an epoch record belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,7 +77,7 @@ pub struct EpochRecord {
     pub phase: Phase,
     /// Epoch index within its phase.
     pub epoch: usize,
-    /// Mean reconstruction loss `L_r`.
+    /// Mean reconstruction loss `L_r` (over non-skipped batches).
     pub recon_loss: f32,
     /// Mean clustering loss `L_c` (0 when inactive).
     pub cluster_loss: f32,
@@ -55,6 +86,54 @@ pub struct EpochRecord {
     /// Fraction of trajectories that changed cluster at the epoch start
     /// (self-training only).
     pub label_change: Option<f64>,
+    /// Batches whose update was dropped by the non-finite guard.
+    #[serde(default)]
+    pub skipped_batches: usize,
+    /// Snapshot rollbacks consumed while (re)running this epoch.
+    #[serde(default)]
+    pub rollbacks: usize,
+}
+
+/// Mid-training cursor carried inside format-v3 checkpoints: everything
+/// `fit` needs — beyond the model parameters themselves — to continue an
+/// interrupted run as if it had never stopped.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingState {
+    /// Phase of the next epoch to run.
+    pub phase: Phase,
+    /// Next epoch index within `phase`.
+    pub next_epoch: usize,
+    /// Completed epochs across both phases (names checkpoint files).
+    pub epochs_done: usize,
+    /// Accumulated per-epoch history.
+    pub history: Vec<EpochRecord>,
+    /// Previous self-training assignments (stop-rule state).
+    #[serde(default)]
+    pub prev_assign: Option<Vec<usize>>,
+    /// Captured RNG stream position (four xoshiro256++ state words).
+    pub rng: Vec<u64>,
+}
+
+impl TrainingState {
+    pub(crate) fn fresh() -> Self {
+        Self {
+            phase: Phase::Pretrain,
+            next_epoch: 0,
+            epochs_done: 0,
+            history: Vec::new(),
+            prev_assign: None,
+            rng: Vec::new(),
+        }
+    }
+}
+
+/// In-memory start-of-epoch snapshot the guard rolls back to. Never hits
+/// disk; durable recovery is the checkpoint file's job.
+struct Snapshot {
+    store: ParamStore,
+    opt: Adam,
+    rng: [u64; 4],
+    prev_assign: Option<Vec<usize>>,
 }
 
 /// Final output of [`E2dtc::fit`].
@@ -74,7 +153,8 @@ pub struct FitResult {
 
 /// Per-epoch observer callback: `(epoch, embeddings (n × hidden flat),
 /// current hard assignments)`. Used by the Fig. 5 learning-process
-/// experiment.
+/// experiment. Under a guard rollback the replayed epoch fires the
+/// callback again with the restored state.
 pub type EpochCallback<'a> = dyn FnMut(usize, &[f32], &[usize]) + 'a;
 
 /// The E²DTC model: seq2seq parameters, cluster centroids, vocabulary,
@@ -91,6 +171,12 @@ pub struct E2dtc {
     pub(crate) rng: StdRng,
     /// Tokenized original trajectories, aligned with the dataset.
     pub(crate) sequences: Vec<Vec<usize>>,
+    /// Training cursor restored by [`E2dtc::resume`], consumed by the
+    /// next `fit` call.
+    pub(crate) pending: Option<TrainingState>,
+    /// Test-only fault-injection plan (see [`crate::fault`]).
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fault: Option<crate::fault::FaultPlan>,
 }
 
 impl E2dtc {
@@ -145,6 +231,9 @@ impl E2dtc {
             opt,
             rng,
             sequences,
+            pending: None,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         }
     }
 
@@ -173,8 +262,35 @@ impl E2dtc {
         self.store.num_scalars()
     }
 
+    /// True when a resumed training cursor is waiting for the next
+    /// [`E2dtc::fit`] call.
+    pub fn has_pending_training(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The resumed training cursor, if one is pending.
+    pub fn pending_training(&self) -> Option<&TrainingState> {
+        self.pending.as_ref()
+    }
+
+    /// Overrides the periodic-checkpoint policy (useful after
+    /// [`E2dtc::resume`], whose checkpoint carries the policy it was
+    /// written under). `every = 0` disables periodic checkpoints.
+    pub fn set_checkpoint_policy(
+        &mut self,
+        dir: Option<String>,
+        every: usize,
+        keep_last: usize,
+    ) {
+        self.cfg.checkpoint_dir = dir;
+        self.cfg.checkpoint_every = every;
+        self.cfg.checkpoint_keep_last = keep_last;
+    }
+
     /// Runs the full Algorithm 1: pre-training, centroid initialization,
-    /// self-training, final assignment.
+    /// self-training, final assignment. On a model returned by
+    /// [`E2dtc::resume`], continues the interrupted run instead of
+    /// starting over.
     pub fn fit(&mut self, dataset: &Dataset) -> FitResult {
         self.fit_with_callback(dataset, &mut |_, _, _| {})
     }
@@ -186,83 +302,267 @@ impl E2dtc {
         callback: &mut EpochCallback<'_>,
     ) -> FitResult {
         self.ensure_sequences(dataset);
-        let mut history = self.pretrain(dataset, self.cfg.pretrain_epochs);
-        let emb = self.embed_dataset(dataset);
-        self.init_centroids(&emb);
+        let mut st = match self.pending.take() {
+            Some(s) => {
+                // Rejoin the interrupted run's RNG stream exactly where
+                // the checkpoint captured it.
+                self.rng = StdRng::restore(rng_state_from(&s.rng));
+                s
+            }
+            None => TrainingState::fresh(),
+        };
+        let mut guard = NonFiniteGuard::new(self.cfg.guard_patience);
+        let mut rollback_budget = MAX_ROLLBACKS;
+        let mut pending_rollbacks = 0usize;
+        let mut tape = Tape::new();
 
-        if self.cfg.loss_mode == LossMode::L0 {
-            // Pre-training only: final clustering is plain k-means (this is
-            // simultaneously the paper's L0 ablation and the embedding half
-            // of the t2vec + k-means baseline).
-            let n = dataset.len();
-            let d = self.repr_dim();
-            let res = best_kmeans(
-                emb.data(),
-                n,
-                d,
-                self.cfg.k_clusters,
-                self.cfg.seed ^ 0x6b6d65616e73,
-            );
-            callback(0, emb.data(), &res.assignment);
-            return FitResult {
-                assignments: res.assignment,
-                embeddings: emb.into_vec(),
-                embed_dim: d,
-                centroids: res.centroids,
-                history,
-            };
+        // — Phase 2: pre-training (skipped entirely when resuming past it) —
+        if st.phase == Phase::Pretrain {
+            let mut epoch = st.next_epoch;
+            while epoch < self.cfg.pretrain_epochs {
+                let snap = self.snapshot(&st);
+                let (mut rec, rolled) =
+                    self.pretrain_epoch(dataset, &mut tape, epoch, &mut guard);
+                if rolled {
+                    if rollback_budget == 0 {
+                        eprintln!(
+                            "e2dtc: rollback budget exhausted during pre-training; \
+                             stopping early at epoch {epoch}"
+                        );
+                        break;
+                    }
+                    rollback_budget -= 1;
+                    pending_rollbacks += 1;
+                    self.restore(&snap, &mut st, &mut guard);
+                    continue; // replay the same epoch from the snapshot
+                }
+                rec.rollbacks = std::mem::take(&mut pending_rollbacks);
+                st.history.push(rec);
+                st.epochs_done += 1;
+                st.next_epoch = epoch + 1;
+                self.maybe_checkpoint(&mut st);
+                epoch += 1;
+            }
+
+            if self.cfg.loss_mode == LossMode::L0 {
+                // Pre-training only: final clustering is plain k-means
+                // (this is simultaneously the paper's L0 ablation and the
+                // embedding half of the t2vec + k-means baseline).
+                let n = dataset.len();
+                let d = self.repr_dim();
+                let emb = self.embed_dataset(dataset);
+                let res = best_kmeans(
+                    emb.data(),
+                    n,
+                    d,
+                    self.cfg.k_clusters,
+                    self.cfg.seed ^ 0x6b6d65616e73,
+                );
+                callback(0, emb.data(), &res.assignment);
+                return FitResult {
+                    assignments: res.assignment,
+                    embeddings: emb.into_vec(),
+                    embed_dim: d,
+                    centroids: res.centroids,
+                    history: st.history,
+                };
+            }
+
+            // Phase transition: seed the centroids and anneal the LR.
+            let emb = self.embed_dataset(dataset);
+            self.init_centroids(&emb);
+            self.opt.set_lr(self.cfg.lr * self.cfg.selftrain_lr_scale);
+            st.phase = Phase::SelfTrain;
+            st.next_epoch = 0;
         }
 
-        let (selftrain_history, result) = self.self_train(dataset, callback);
-        history.extend(selftrain_history);
-        FitResult { history, ..result }
+        // — Phase 3: self-training (Algorithm 1, lines 3–10) —
+        let centroids_id =
+            self.centroids.expect("centroids exist after pre-training or resume");
+        let mut epoch = st.next_epoch;
+        while epoch < self.cfg.selftrain_epochs {
+            let snap = self.snapshot(&st);
+            // Epoch bookkeeping: Q, P, assignments, stopping rule.
+            let emb = self.embed_dataset(dataset);
+            let q = student_t_assignment(&emb, self.store.get(centroids_id));
+            let p = target_distribution(&q);
+            let assign = hard_assignment(&q);
+            let change =
+                st.prev_assign.as_ref().map(|prev| label_change_fraction(prev, &assign));
+            callback(epoch, emb.data(), &assign);
+            if let Some(c) = change {
+                if c <= self.cfg.delta {
+                    st.history.push(EpochRecord {
+                        phase: Phase::SelfTrain,
+                        epoch,
+                        recon_loss: 0.0,
+                        cluster_loss: 0.0,
+                        triplet_loss: 0.0,
+                        label_change: Some(c),
+                        skipped_batches: 0,
+                        rollbacks: std::mem::take(&mut pending_rollbacks),
+                    });
+                    break;
+                }
+            }
+            st.prev_assign = Some(assign.clone());
+
+            // One pass of joint training.
+            let batches = self.make_batches(dataset.len());
+            let (mut sum_r, mut sum_c, mut sum_t) = (0.0f64, 0.0f64, 0.0f64);
+            let mut count = 0usize;
+            let mut skipped = 0usize;
+            let mut rolled = false;
+            for batch in &batches {
+                let negatives = mine_negatives(batch, &assign, &emb);
+                let (lr_, lc, lt, verdict) = self.joint_step(
+                    &mut tape,
+                    dataset,
+                    batch,
+                    &p,
+                    centroids_id,
+                    &negatives,
+                    &mut guard,
+                );
+                match verdict {
+                    GuardVerdict::Proceed => {
+                        sum_r += lr_ as f64;
+                        sum_c += lc as f64;
+                        sum_t += lt as f64;
+                        count += 1;
+                    }
+                    GuardVerdict::Skip => skipped += 1,
+                    GuardVerdict::Rollback => {
+                        skipped += 1;
+                        rolled = true;
+                        break;
+                    }
+                }
+            }
+            if rolled {
+                if rollback_budget == 0 {
+                    eprintln!(
+                        "e2dtc: rollback budget exhausted during self-training; \
+                         stopping early at epoch {epoch}"
+                    );
+                    break;
+                }
+                rollback_budget -= 1;
+                pending_rollbacks += 1;
+                self.restore(&snap, &mut st, &mut guard);
+                continue; // replay the same epoch from the snapshot
+            }
+            st.history.push(EpochRecord {
+                phase: Phase::SelfTrain,
+                epoch,
+                recon_loss: (sum_r / count.max(1) as f64) as f32,
+                cluster_loss: (sum_c / count.max(1) as f64) as f32,
+                triplet_loss: (sum_t / count.max(1) as f64) as f32,
+                label_change: change,
+                skipped_batches: skipped,
+                rollbacks: std::mem::take(&mut pending_rollbacks),
+            });
+            st.epochs_done += 1;
+            st.next_epoch = epoch + 1;
+            self.maybe_checkpoint(&mut st);
+            epoch += 1;
+        }
+
+        // Final assignment with the trained parameters.
+        let emb = self.embed_dataset(dataset);
+        let q = student_t_assignment(&emb, self.store.get(centroids_id));
+        FitResult {
+            assignments: hard_assignment(&q),
+            embed_dim: emb.cols(),
+            embeddings: emb.into_vec(),
+            centroids: self.store.get(centroids_id).data().to_vec(),
+            history: st.history,
+        }
     }
 
     /// Phase 2: corrupt-and-reconstruct pre-training (Algorithm 1,
     /// lines 1–2). Each epoch draws one random `(r1, r2)` corruption per
     /// trajectory from the configured rate grids (the paper's 16-pair
     /// sweep, sampled across epochs instead of materialized at once).
+    ///
+    /// Non-finite batches are skipped (no parameter update); standalone
+    /// pre-training keeps no snapshot, so the guard never rolls back here
+    /// — that escalation belongs to [`E2dtc::fit`].
     pub fn pretrain(&mut self, dataset: &Dataset, epochs: usize) -> Vec<EpochRecord> {
         self.ensure_sequences(dataset);
         let mut history = Vec::with_capacity(epochs);
         // One tape reused across every batch: clear() keeps the node
         // buffer's allocation, so steady-state batches allocate no graph.
         let mut tape = Tape::new();
+        let mut guard = NonFiniteGuard::new(0);
         for epoch in 0..epochs {
-            let batches = self.make_batches(dataset.len());
-            let mut total = 0.0f64;
-            let mut count = 0usize;
-            for batch in &batches {
-                let (inputs, targets) = self.corrupted_batch(dataset, batch);
-                tape.clear();
-                let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
-                let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
-                let enc =
-                    self.model.encode(&mut tape, &self.store, &input_refs, true, &mut self.rng);
-                let loss = self.model.reconstruction_loss(
-                    &mut tape,
-                    &self.store,
-                    &enc,
-                    &target_refs,
-                    &self.weights,
-                    true,
-                    &mut self.rng,
-                );
-                total += tape.value(loss).get(0, 0) as f64;
-                count += 1;
-                tape.backward(loss, &mut self.store);
-                self.opt.step(&mut self.store);
-            }
-            history.push(EpochRecord {
-                phase: Phase::Pretrain,
-                epoch,
-                recon_loss: (total / count.max(1) as f64) as f32,
-                cluster_loss: 0.0,
-                triplet_loss: 0.0,
-                label_change: None,
-            });
+            let (rec, _) = self.pretrain_epoch(dataset, &mut tape, epoch, &mut guard);
+            history.push(rec);
         }
         history
+    }
+
+    /// One pre-training epoch. Returns the record and whether the guard
+    /// requested a rollback (in which case the epoch aborted mid-way and
+    /// the record must be discarded).
+    fn pretrain_epoch(
+        &mut self,
+        dataset: &Dataset,
+        tape: &mut Tape,
+        epoch: usize,
+        guard: &mut NonFiniteGuard,
+    ) -> (EpochRecord, bool) {
+        let batches = self.make_batches(dataset.len());
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let mut skipped = 0usize;
+        let mut rolled = false;
+        for batch in &batches {
+            let (inputs, targets) = self.corrupted_batch(dataset, batch);
+            tape.clear();
+            let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
+            let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
+            let enc = self.model.encode(tape, &self.store, &input_refs, true, &mut self.rng);
+            let loss = self.model.reconstruction_loss(
+                tape,
+                &self.store,
+                &enc,
+                &target_refs,
+                &self.weights,
+                true,
+                &mut self.rng,
+            );
+            let loss_val = self.observe_loss(tape.value(loss).get(0, 0));
+            tape.backward(loss, &mut self.store);
+            match guard.observe(loss_val, &self.store) {
+                GuardVerdict::Proceed => {
+                    self.opt.step(&mut self.store);
+                    total += loss_val as f64;
+                    count += 1;
+                }
+                GuardVerdict::Skip => {
+                    self.store.zero_grads();
+                    skipped += 1;
+                }
+                GuardVerdict::Rollback => {
+                    self.store.zero_grads();
+                    skipped += 1;
+                    rolled = true;
+                    break;
+                }
+            }
+        }
+        let rec = EpochRecord {
+            phase: Phase::Pretrain,
+            epoch,
+            recon_loss: (total / count.max(1) as f64) as f32,
+            cluster_loss: 0.0,
+            triplet_loss: 0.0,
+            label_change: None,
+            skipped_batches: skipped,
+            rollbacks: 0,
+        };
+        (rec, rolled)
     }
 
     /// Embeds every trajectory of `dataset` (inference; no parameter
@@ -300,104 +600,11 @@ impl E2dtc {
         }
     }
 
-    /// Phase 3: self-training (Algorithm 1, lines 3–10). Returns the
-    /// per-epoch history and the final result (history field left empty
-    /// for the caller to fill).
-    fn self_train(
-        &mut self,
-        dataset: &Dataset,
-        callback: &mut EpochCallback<'_>,
-    ) -> (Vec<EpochRecord>, FitResult) {
-        let centroids_id = self.centroids.expect("init_centroids runs before self_train");
-        self.opt.set_lr(self.cfg.lr * self.cfg.selftrain_lr_scale);
-        let n = dataset.len();
-        let mut history = Vec::new();
-        let mut prev_assign: Option<Vec<usize>> = None;
-        let mut emb = self.embed_dataset(dataset);
-
-        for epoch in 0..self.cfg.selftrain_epochs {
-            // Epoch bookkeeping: Q, P, assignments, stopping rule.
-            let q = student_t_assignment(&emb, self.store.get(centroids_id));
-            let p = target_distribution(&q);
-            let assign = hard_assignment(&q);
-            let change = prev_assign.as_ref().map(|prev| label_change_fraction(prev, &assign));
-            callback(epoch, emb.data(), &assign);
-            if let Some(c) = change {
-                if c <= self.cfg.delta {
-                    history.push(EpochRecord {
-                        phase: Phase::SelfTrain,
-                        epoch,
-                        recon_loss: 0.0,
-                        cluster_loss: 0.0,
-                        triplet_loss: 0.0,
-                        label_change: Some(c),
-                    });
-                    break;
-                }
-            }
-            prev_assign = Some(assign);
-
-            // One pass of joint training.
-            let batches = self.make_batches(n);
-            let (mut sum_r, mut sum_c, mut sum_t) = (0.0f64, 0.0f64, 0.0f64);
-            let mut count = 0usize;
-            let assign_now =
-                prev_assign.as_ref().expect("assignments recorded before training");
-            let mut tape = Tape::new();
-            for batch in &batches {
-                // Hard-negative mining for the triplet loss: for each
-                // anchor, the nearest batch member currently assigned to a
-                // different cluster (falls back to the next row when the
-                // batch is single-cluster).
-                let negatives: Vec<usize> = batch
-                    .iter()
-                    .enumerate()
-                    .map(|(row, &i)| {
-                        batch
-                            .iter()
-                            .enumerate()
-                            .filter(|&(r2, &j)| r2 != row && assign_now[j] != assign_now[i])
-                            .min_by(|&(_, &a), &(_, &b)| {
-                                emb.row_sq_dist(i, &emb, a)
-                                    .total_cmp(&emb.row_sq_dist(i, &emb, b))
-                            })
-                            .map(|(r2, _)| r2)
-                            .unwrap_or((row + 1) % batch.len())
-                    })
-                    .collect();
-                let (lr_, lc, lt) =
-                    self.joint_step(&mut tape, dataset, batch, &p, centroids_id, &negatives);
-                sum_r += lr_ as f64;
-                sum_c += lc as f64;
-                sum_t += lt as f64;
-                count += 1;
-            }
-            history.push(EpochRecord {
-                phase: Phase::SelfTrain,
-                epoch,
-                recon_loss: (sum_r / count.max(1) as f64) as f32,
-                cluster_loss: (sum_c / count.max(1) as f64) as f32,
-                triplet_loss: (sum_t / count.max(1) as f64) as f32,
-                label_change: change,
-            });
-            emb = self.embed_dataset(dataset);
-        }
-
-        let q = student_t_assignment(&emb, self.store.get(centroids_id));
-        let assignments = hard_assignment(&q);
-        let result = FitResult {
-            assignments,
-            embed_dim: emb.cols(),
-            embeddings: emb.into_vec(),
-            centroids: self.store.get(centroids_id).data().to_vec(),
-            history: Vec::new(),
-        };
-        (history, result)
-    }
-
     /// One joint-loss mini-batch: `L_r + β·L_c + γ·L_t` per the active
     /// [`LossMode`]. `negatives[row]` is the batch-row index of the mined
-    /// triplet negative for anchor `row`. Returns the three loss values.
+    /// triplet negative for anchor `row`. Returns the three loss values
+    /// and the guard's verdict (the optimizer step is applied only on
+    /// [`GuardVerdict::Proceed`]).
     #[allow(clippy::too_many_arguments)]
     fn joint_step(
         &mut self,
@@ -407,7 +614,8 @@ impl E2dtc {
         p: &Tensor,
         centroids_id: ParamId,
         negatives: &[usize],
-    ) -> (f32, f32, f32) {
+        guard: &mut NonFiniteGuard,
+    ) -> (f32, f32, f32, GuardVerdict) {
         let (inputs, targets) = self.corrupted_batch(dataset, batch);
         tape.clear();
         let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
@@ -459,9 +667,83 @@ impl E2dtc {
             total = tape.add(total, scaled);
         }
 
+        let total_val = self.observe_loss(tape.value(total).get(0, 0));
         tape.backward(total, &mut self.store);
-        self.opt.step(&mut self.store);
-        (lr_val, lc_val, lt_val)
+        let verdict = guard.observe(total_val, &self.store);
+        match verdict {
+            GuardVerdict::Proceed => {
+                self.opt.step(&mut self.store);
+            }
+            GuardVerdict::Skip | GuardVerdict::Rollback => self.store.zero_grads(),
+        }
+        (lr_val, lc_val, lt_val, verdict)
+    }
+
+    /// Fault-injection seam: the batch loss as the guard will see it.
+    /// With the `fault-injection` feature an installed [`crate::fault::FaultPlan`]
+    /// may replace it with NaN; in production builds this is the identity.
+    #[allow(unused_mut)]
+    fn observe_loss(&mut self, loss: f32) -> f32 {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = self.fault.as_mut() {
+            if plan.poison_next_loss() {
+                return f32::NAN;
+            }
+        }
+        loss
+    }
+
+    /// Captures the in-memory rollback target: parameters, optimizer,
+    /// RNG position, and stop-rule state at the start of an epoch.
+    fn snapshot(&self, st: &TrainingState) -> Snapshot {
+        Snapshot {
+            store: self.store.clone(),
+            opt: self.opt.clone(),
+            rng: self.rng.state(),
+            prev_assign: st.prev_assign.clone(),
+        }
+    }
+
+    /// Restores a start-of-epoch snapshot and applies the learning-rate
+    /// backoff — the recovery half of the guard protocol.
+    fn restore(&mut self, snap: &Snapshot, st: &mut TrainingState, guard: &mut NonFiniteGuard) {
+        self.store = snap.store.clone();
+        self.opt = snap.opt.clone();
+        self.opt.set_lr(self.opt.lr() * self.cfg.effective_lr_backoff());
+        self.rng = StdRng::restore(snap.rng);
+        st.prev_assign = snap.prev_assign.clone();
+        guard.reset_streak();
+    }
+
+    /// Writes a periodic training checkpoint when the policy says so.
+    /// Checkpoint failures never kill training: the run that is being
+    /// protected must not die because its protection hiccuped.
+    fn maybe_checkpoint(&mut self, st: &mut TrainingState) {
+        if self.cfg.checkpoint_every == 0
+            || st.epochs_done % self.cfg.checkpoint_every != 0
+        {
+            return;
+        }
+        let Some(dir) = self.cfg.checkpoint_dir.clone() else { return };
+        let dir = std::path::PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("e2dtc: cannot create checkpoint dir {}: {e}", dir.display());
+            return;
+        }
+        st.rng = self.rng.state().to_vec();
+        let path = dir.join(crate::persist::checkpoint_file_name(st.epochs_done));
+        match self.save_checkpoint(&path, st) {
+            Ok(()) => {
+                if let Err(e) =
+                    crate::persist::rotate_checkpoints(&dir, self.cfg.checkpoint_keep_last)
+                {
+                    eprintln!("e2dtc: checkpoint rotation failed: {e}");
+                }
+            }
+            Err(e) => {
+                eprintln!("e2dtc: checkpoint write failed ({e}); training continues");
+            }
+        }
     }
 
     /// Autoencoder round-trip: encodes each trajectory and greedily
@@ -597,6 +879,51 @@ impl E2dtc {
     }
 }
 
+#[cfg(feature = "fault-injection")]
+impl E2dtc {
+    /// Installs a test-only fault plan; subsequent training batches and
+    /// checkpoint saves consult it. See [`crate::fault`].
+    pub fn set_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes and returns the installed fault plan.
+    pub fn take_fault_plan(&mut self) -> Option<crate::fault::FaultPlan> {
+        self.fault.take()
+    }
+}
+
+/// Rebuilds the RNG state array from checkpointed words (zero-padded when
+/// short; `StdRng::restore` rejects the degenerate all-zero state).
+pub(crate) fn rng_state_from(words: &[u64]) -> [u64; 4] {
+    let mut s = [0u64; 4];
+    for (d, &w) in s.iter_mut().zip(words) {
+        *d = w;
+    }
+    s
+}
+
+/// Hard-negative mining for the triplet loss: for each anchor, the
+/// nearest batch member currently assigned to a different cluster (falls
+/// back to the next row when the batch is single-cluster).
+fn mine_negatives(batch: &[usize], assign: &[usize], emb: &Tensor) -> Vec<usize> {
+    batch
+        .iter()
+        .enumerate()
+        .map(|(row, &i)| {
+            batch
+                .iter()
+                .enumerate()
+                .filter(|&(r2, &j)| r2 != row && assign[j] != assign[i])
+                .min_by(|&(_, &a), &(_, &b)| {
+                    emb.row_sq_dist(i, emb, a).total_cmp(&emb.row_sq_dist(i, emb, b))
+                })
+                .map(|(r2, _)| r2)
+                .unwrap_or((row + 1) % batch.len())
+        })
+        .collect()
+}
+
 fn pick<'a, T>(xs: &'a [T], rng: &mut impl Rng) -> &'a T {
     &xs[rng.gen_range(0..xs.len())]
 }
@@ -656,6 +983,7 @@ mod tests {
             last < first,
             "pre-training loss did not drop: {first} -> {last}"
         );
+        assert!(history.iter().all(|r| r.skipped_batches == 0 && r.rollbacks == 0));
     }
 
     #[test]
@@ -685,6 +1013,8 @@ mod tests {
         assert_eq!(fit.centroids.len(), 3 * model.repr_dim());
         assert!(fit.history.iter().any(|r| r.phase == Phase::Pretrain));
         assert!(fit.history.iter().any(|r| r.phase == Phase::SelfTrain));
+        // A healthy run triggers no guard activity.
+        assert!(fit.history.iter().all(|r| r.skipped_batches == 0 && r.rollbacks == 0));
     }
 
     #[test]
@@ -728,5 +1058,25 @@ mod tests {
         });
         assert!(!epochs.is_empty());
         assert_eq!(epochs[0], 0);
+    }
+
+    #[test]
+    fn same_seed_fit_is_deterministic() {
+        // The resume guarantee rests on this: two identically-seeded runs
+        // produce identical assignments and history.
+        let city = tiny_city(30, 3);
+        let mut m1 = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        let mut m2 = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        let f1 = m1.fit(&city.dataset);
+        let f2 = m2.fit(&city.dataset);
+        assert_eq!(f1.assignments, f2.assignments);
+        assert_eq!(f1.embeddings, f2.embeddings);
+        assert_eq!(f1.history.len(), f2.history.len());
+    }
+
+    #[test]
+    fn rng_state_from_pads_short_input() {
+        assert_eq!(rng_state_from(&[1, 2]), [1, 2, 0, 0]);
+        assert_eq!(rng_state_from(&[1, 2, 3, 4, 5]), [1, 2, 3, 4]);
     }
 }

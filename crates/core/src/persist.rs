@@ -1,9 +1,35 @@
-//! Model persistence: train once, serve clustering requests forever.
+//! Model persistence: train once, serve clustering requests forever —
+//! and survive dying in the middle of the training investment.
 //!
 //! The paper's efficiency story (Fig. 3) rests on training offline and
 //! serving requests with the frozen model. This module serializes
 //! everything inference needs — configuration, grid, vocabulary, spatial
-//! weight table, all network parameters, and optimizer state — as JSON.
+//! weight table, all network parameters, and optimizer state — plus,
+//! for training checkpoints, the [`TrainingState`] cursor that lets
+//! [`E2dtc::resume`] continue an interrupted `fit` exactly.
+//!
+//! ## Checkpoint format v3 (DESIGN.md §10)
+//!
+//! A v3 file is a one-line ASCII header followed by a JSON payload:
+//!
+//! ```text
+//! E2DTC-CKPT v3 fnv1a64=<16 hex digits> len=<payload bytes>\n
+//! { ...SavedModel JSON... }
+//! ```
+//!
+//! The header carries an FNV-1a 64 checksum and the byte length of the
+//! payload, so torn writes and bit rot are detected before JSON parsing
+//! ever runs. Files are written atomically: full payload to a `.tmp`
+//! sibling, `fsync`, then `rename` over the final path — a crash at any
+//! point leaves either the old file or the new file, never a hybrid.
+//!
+//! Legacy v1/v2 files carry no header (they start with `{`) and are
+//! still loaded, including the v1→v2 fused-GRU migration.
+//!
+//! Loading validates, in order: header + checksum, format version,
+//! parameter count, each parameter's registration name and tensor shape
+//! against a freshly-built architecture, and the finiteness of every
+//! weight. Each failure mode is a distinct [`PersistError`] variant.
 //!
 //! Reconstruction relies on parameter registration being deterministic:
 //! [`crate::seq2seq::Seq2Seq::new`] always registers the same tensors in
@@ -12,21 +38,131 @@
 //! pins this invariant).
 
 use crate::config::E2dtcConfig;
-use crate::model::E2dtc;
+use crate::model::{rng_state_from, E2dtc, TrainingState};
 use crate::seq2seq::Seq2Seq;
 use crate::spatial_loss::WeightTable;
 use crate::vocab::Vocab;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
-use std::path::Path;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use traj_data::Grid;
 use traj_nn::optim::Adam;
 use traj_nn::{ParamId, ParamStore, Tensor};
 
-/// On-disk representation of a trained model.
+/// Magic prefix of a v3 (header + checksum) checkpoint file.
+const MAGIC: &str = "E2DTC-CKPT";
+
+/// Everything that can go wrong saving or loading a model/checkpoint.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The JSON payload does not parse or does not match the schema.
+    Json(String),
+    /// The `E2DTC-CKPT` header line is malformed or lies about the
+    /// payload length (e.g. a truncated file).
+    BadHeader(String),
+    /// The payload does not hash to the checksum in the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload actually on disk.
+        actual: u64,
+    },
+    /// The file's `format_version` is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The saved parameter count does not match the architecture the
+    /// saved configuration describes.
+    ParamCountMismatch {
+        /// Parameters in the file.
+        saved: usize,
+        /// Parameters the architecture registers.
+        expected: usize,
+    },
+    /// A saved tensor's registration name or shape disagrees with the
+    /// architecture.
+    ShapeMismatch {
+        /// Parameter registration name.
+        name: String,
+        /// `(rows, cols)` in the file.
+        saved: (usize, usize),
+        /// `(rows, cols)` the architecture expects.
+        expected: (usize, usize),
+    },
+    /// A saved parameter holds NaN or infinity.
+    NonFiniteParam(String),
+    /// A v1 checkpoint's per-gate GRU cell is truncated or misordered.
+    BadGruCell(String),
+    /// The checkpoint's serialized RNG state has the wrong word count.
+    BadRngState(usize),
+    /// [`E2dtc::resume`] needs a training cursor, but the file is a plain
+    /// model save (or predates format v3).
+    NotATrainingCheckpoint,
+    /// A checkpoint directory holds no usable checkpoint.
+    NoCheckpointFound(PathBuf),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Json(e) => write!(f, "malformed checkpoint JSON: {e}"),
+            PersistError::BadHeader(e) => write!(f, "bad checkpoint header: {e}"),
+            PersistError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected:016x}, \
+                 payload hashes to {actual:016x} (file is corrupt or torn)"
+            ),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            PersistError::ParamCountMismatch { saved, expected } => write!(
+                f,
+                "saved parameter count {saved} does not match architecture ({expected})"
+            ),
+            PersistError::ShapeMismatch { name, saved, expected } => write!(
+                f,
+                "parameter `{name}` has shape {}x{}, architecture expects {}x{}",
+                saved.0, saved.1, expected.0, expected.1
+            ),
+            PersistError::NonFiniteParam(name) => {
+                write!(f, "parameter `{name}` holds NaN/Inf values")
+            }
+            PersistError::BadGruCell(e) => write!(f, "v1 GRU migration failed: {e}"),
+            PersistError::BadRngState(n) => {
+                write!(f, "serialized RNG state has {n} words (expected 4)")
+            }
+            PersistError::NotATrainingCheckpoint => {
+                write!(f, "file carries no training state (plain model save?); \
+                       use E2dtc::load for inference")
+            }
+            PersistError::NoCheckpointFound(dir) => {
+                write!(f, "no usable checkpoint found in {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// On-disk representation of a trained model / training checkpoint.
 #[derive(Serialize, Deserialize)]
 struct SavedModel {
     format_version: u32,
@@ -38,16 +174,152 @@ struct SavedModel {
     /// Whether the store's final parameter is the centroid matrix.
     has_centroids: bool,
     opt: Adam,
+    /// Mid-training cursor; `None` for plain model saves and all pre-v3
+    /// files.
+    #[serde(default)]
+    training: Option<TrainingState>,
 }
 
-/// Version 2 fuses each GRU cell's ten per-gate tensors into four
-/// (`w_x`, `w_h`, `b_x`, `b_h`); version-1 checkpoints are migrated on
-/// load by [`migrate_v1_store`].
-const FORMAT_VERSION: u32 = 2;
+/// Version 3 adds the checksummed header, the optional [`TrainingState`]
+/// cursor, and load-time shape/finiteness validation. Version 2 fused
+/// each GRU cell's ten per-gate tensors into four (`w_x`, `w_h`, `b_x`,
+/// `b_h`); version-1 checkpoints are migrated on load by
+/// [`migrate_v1_store`].
+const FORMAT_VERSION: u32 = 3;
 
 /// v1 per-cell parameter suffixes, in their registration order.
 const V1_GRU_SUFFIXES: [&str; 10] =
     [".w_xr", ".w_hr", ".w_xz", ".w_hz", ".w_xn", ".w_hn", ".b_r", ".b_z", ".b_xn", ".b_hn"];
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and plenty to catch torn
+/// writes and bit rot (this is integrity checking, not cryptography).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// File name of the periodic checkpoint written after `epochs_done`
+/// completed epochs (zero-padded so lexicographic order = epoch order).
+pub fn checkpoint_file_name(epochs_done: usize) -> String {
+    format!("ckpt-{epochs_done:06}.json")
+}
+
+/// All periodic checkpoints in `dir`, sorted oldest → newest.
+pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.starts_with("ckpt-") && name.ends_with(".json") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Deletes the oldest periodic checkpoints in `dir`, keeping the newest
+/// `keep` (`0` keeps everything).
+pub fn rotate_checkpoints(dir: &Path, keep: usize) -> io::Result<()> {
+    if keep == 0 {
+        return Ok(());
+    }
+    let files = list_checkpoints(dir)?;
+    for stale in files.iter().rev().skip(keep) {
+        std::fs::remove_file(stale)?;
+    }
+    Ok(())
+}
+
+/// Serializes to the v3 on-disk form: checksummed header + JSON payload.
+fn encode(saved: &SavedModel) -> Result<Vec<u8>, PersistError> {
+    let payload = serde_json::to_string(saved).map_err(|e| PersistError::Json(e.to_string()))?;
+    let payload = payload.into_bytes();
+    let mut out = format!("{MAGIC} v{FORMAT_VERSION} fnv1a64={:016x} len={}\n",
+        fnv1a64(&payload),
+        payload.len())
+    .into_bytes();
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Validates the header + checksum of raw file bytes and returns the JSON
+/// payload. Bytes not starting with [`MAGIC`] are legacy v1/v2 raw JSON
+/// and are returned unchanged.
+fn verify_and_strip_header(bytes: &[u8]) -> Result<&[u8], PersistError> {
+    if !bytes.starts_with(MAGIC.as_bytes()) {
+        return Ok(bytes); // legacy v1/v2: raw JSON, no header
+    }
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| PersistError::BadHeader("missing header terminator".into()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| PersistError::BadHeader("header is not UTF-8".into()))?;
+    let payload = &bytes[newline + 1..];
+
+    let mut fields = header.split_whitespace();
+    let _magic = fields.next();
+    let version = fields
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| PersistError::BadHeader(format!("unparseable version in `{header}`")))?;
+    if version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let checksum = fields
+        .next()
+        .and_then(|v| v.strip_prefix("fnv1a64="))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| PersistError::BadHeader(format!("unparseable checksum in `{header}`")))?;
+    let len = fields
+        .next()
+        .and_then(|v| v.strip_prefix("len="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| PersistError::BadHeader(format!("unparseable length in `{header}`")))?;
+    if payload.len() != len {
+        return Err(PersistError::BadHeader(format!(
+            "payload is {} bytes, header says {len} (truncated write?)",
+            payload.len()
+        )));
+    }
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Err(PersistError::ChecksumMismatch { expected: checksum, actual });
+    }
+    Ok(payload)
+}
+
+/// Atomic durable write: full contents to a `.tmp` sibling, `fsync`, then
+/// `rename` over `path`. A crash at any point leaves either the previous
+/// file or the complete new one.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
 
 /// Rebuilds a fused (v2) parameter store from a v1 store holding ten
 /// per-gate tensors per GRU cell.
@@ -58,7 +330,7 @@ const V1_GRU_SUFFIXES: [&str; 10] =
 /// recurrent bias on the r/z gates, which the fused form encodes as zero
 /// blocks). Non-GRU parameters are copied through unchanged, preserving
 /// relative order.
-fn migrate_v1_store(old: &ParamStore) -> io::Result<ParamStore> {
+fn migrate_v1_store(old: &ParamStore) -> Result<ParamStore, PersistError> {
     let mut fused = ParamStore::new();
     let ids: Vec<ParamId> = old.ids().collect();
     let mut i = 0;
@@ -68,11 +340,11 @@ fn migrate_v1_store(old: &ParamStore) -> io::Result<ParamStore> {
             let mut gates = Vec::with_capacity(V1_GRU_SUFFIXES.len());
             for (j, suffix) in V1_GRU_SUFFIXES.iter().enumerate() {
                 let id = ids.get(i + j).copied().ok_or_else(|| {
-                    io::Error::other(format!("v1 GRU cell `{prefix}` is truncated"))
+                    PersistError::BadGruCell(format!("v1 GRU cell `{prefix}` is truncated"))
                 })?;
                 let got = old.name(id);
                 if got != format!("{prefix}{suffix}") {
-                    return Err(io::Error::other(format!(
+                    return Err(PersistError::BadGruCell(format!(
                         "v1 GRU cell `{prefix}`: expected `{prefix}{suffix}`, found `{got}`"
                     )));
                 }
@@ -97,9 +369,54 @@ fn migrate_v1_store(old: &ParamStore) -> io::Result<ParamStore> {
 }
 
 impl E2dtc {
-    /// Serializes the trained model to pretty JSON.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let saved = SavedModel {
+    /// Serializes the trained model (no training cursor) in format v3:
+    /// checksummed header + JSON payload, written atomically.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let saved = self.to_saved(None);
+        write_atomic(path.as_ref(), &encode(&saved)?)?;
+        Ok(())
+    }
+
+    /// Writes a training checkpoint: the full model plus the mid-training
+    /// cursor `st`, so [`E2dtc::resume`] can continue the run. Atomic and
+    /// checksummed like [`E2dtc::save`].
+    pub fn save_checkpoint(
+        &mut self,
+        path: impl AsRef<Path>,
+        st: &TrainingState,
+    ) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        let saved = self.to_saved(Some(st.clone()));
+        let bytes = encode(&saved)?;
+
+        #[cfg(feature = "fault-injection")]
+        if let Some(fault) = self.fault.as_mut().and_then(crate::fault::FaultPlan::next_save_fault)
+        {
+            use crate::fault::SaveFault;
+            return match fault {
+                SaveFault::Torn(keep) => {
+                    // A non-atomic writer crashed mid-flush: truncated
+                    // bytes sit at the final path.
+                    std::fs::write(path, &bytes[..keep.min(bytes.len())])?;
+                    Ok(())
+                }
+                SaveFault::Kill => {
+                    // The atomic protocol crashed mid-tmp-write: partial
+                    // tmp file, final path untouched.
+                    std::fs::write(tmp_path(path), &bytes[..bytes.len() / 2])?;
+                    Err(PersistError::Io(io::Error::other(
+                        "fault injection: save killed mid-write",
+                    )))
+                }
+            };
+        }
+
+        write_atomic(path, &bytes)?;
+        Ok(())
+    }
+
+    fn to_saved(&self, training: Option<TrainingState>) -> SavedModel {
+        SavedModel {
             format_version: FORMAT_VERSION,
             config: self.cfg.clone(),
             grid: self.grid.clone(),
@@ -108,21 +425,28 @@ impl E2dtc {
             store: self.store.clone(),
             has_centroids: self.centroids.is_some(),
             opt: self.opt.clone(),
-        };
-        let file = BufWriter::new(File::create(path)?);
-        serde_json::to_writer(file, &saved).map_err(io::Error::other)
+            training,
+        }
     }
 
-    /// Loads a model saved with [`E2dtc::save`].
+    /// Loads a model saved with [`E2dtc::save`] or [`E2dtc::save_checkpoint`]
+    /// (any format version; v1 stores are migrated).
     ///
     /// The loaded model is immediately usable for inference
     /// ([`E2dtc::embed_dataset`], [`E2dtc::assign`]) and for continued
-    /// training (`fit` re-tokenizes its dataset on demand).
-    pub fn load(path: impl AsRef<Path>) -> io::Result<E2dtc> {
-        let file = BufReader::new(File::open(path)?);
-        let saved: SavedModel = serde_json::from_reader(file).map_err(io::Error::other)?;
+    /// training (`fit` re-tokenizes its dataset on demand; a checkpoint's
+    /// training cursor, if present, makes `fit` continue the interrupted
+    /// run).
+    pub fn load(path: impl AsRef<Path>) -> Result<E2dtc, PersistError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        let payload = verify_and_strip_header(&bytes)?;
+        let payload = std::str::from_utf8(payload)
+            .map_err(|_| PersistError::Json("payload is not UTF-8".into()))?;
+        let saved: SavedModel =
+            serde_json::from_str(payload).map_err(|e| PersistError::Json(e.to_string()))?;
+
         let (store, opt) = match saved.format_version {
-            FORMAT_VERSION => (saved.store, saved.opt),
+            2 | 3 => (saved.store, saved.opt),
             1 => {
                 // Pre-fusion checkpoint: fuse the per-gate GRU tensors.
                 // The parameter layout changes, so Adam's per-slot moment
@@ -133,15 +457,13 @@ impl E2dtc {
                     Adam::new(saved.config.lr).with_max_grad_norm(saved.config.max_grad_norm);
                 (store, opt)
             }
-            v => {
-                return Err(io::Error::other(format!(
-                    "unsupported model format version {v} (expected ≤ {FORMAT_VERSION})"
-                )))
-            }
+            v => return Err(PersistError::UnsupportedVersion(v)),
         };
+
         // Rebuild the architecture in a scratch store: parameter ids are
         // assigned in deterministic registration order, so the layer
-        // handles line up with the saved store's slots.
+        // handles line up with the saved store's slots — and the scratch
+        // names/shapes are the authority the file is validated against.
         let mut scratch = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(saved.config.seed);
         let placeholder = Tensor::zeros(saved.vocab.size(), saved.config.embed_dim);
@@ -155,15 +477,51 @@ impl E2dtc {
         );
         let expected = scratch.len() + usize::from(saved.has_centroids);
         if store.len() != expected {
-            return Err(io::Error::other(format!(
-                "saved parameter count {} does not match architecture ({expected})",
-                store.len()
-            )));
+            return Err(PersistError::ParamCountMismatch { saved: store.len(), expected });
         }
+        for (slot, id) in scratch.ids().enumerate() {
+            let saved_id = store.ids().nth(slot).expect("count checked above");
+            let (name, want) = (scratch.name(id), scratch.get(id).shape());
+            let got = store.get(saved_id).shape();
+            if store.name(saved_id) != name || got != want {
+                return Err(PersistError::ShapeMismatch {
+                    name: name.to_string(),
+                    saved: got,
+                    expected: want,
+                });
+            }
+        }
+        if saved.has_centroids {
+            let id = store.ids().last().expect("store non-empty");
+            let got = store.get(id).shape();
+            let want = (saved.config.k_clusters, saved.config.hidden_dim);
+            if got != want {
+                return Err(PersistError::ShapeMismatch {
+                    name: store.name(id).to_string(),
+                    saved: got,
+                    expected: want,
+                });
+            }
+        }
+        if let Some(name) = store.first_non_finite_param() {
+            return Err(PersistError::NonFiniteParam(name.to_string()));
+        }
+        if let Some(st) = &saved.training {
+            if st.rng.len() != 4 {
+                return Err(PersistError::BadRngState(st.rng.len()));
+            }
+        }
+
         let centroids =
             saved.has_centroids.then(|| store.ids().last().expect("store non-empty"));
         Ok(E2dtc {
-            rng: StdRng::seed_from_u64(saved.config.seed ^ 0x6c6f6164),
+            rng: match &saved.training {
+                // `fit` re-restores from the cursor; seeding here keeps
+                // inference on a freshly-loaded checkpoint deterministic.
+                Some(st) => StdRng::restore(rng_state_from(&st.rng)),
+                None => StdRng::seed_from_u64(saved.config.seed ^ 0x6c6f6164),
+            },
+            pending: saved.training,
             cfg: saved.config,
             grid: saved.grid,
             vocab: saved.vocab,
@@ -173,7 +531,48 @@ impl E2dtc {
             centroids,
             opt,
             sequences: Vec::new(),
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         })
+    }
+
+    /// Resumes an interrupted training run from a checkpoint file, or
+    /// from the newest *usable* checkpoint in a directory: corrupt or
+    /// torn files (bad checksum, truncated payload, failed validation)
+    /// are skipped with a warning and the scan falls back to the previous
+    /// one.
+    ///
+    /// The returned model carries the training cursor; the next
+    /// [`E2dtc::fit`] call continues the run and — for the same seed and
+    /// data — reproduces the uninterrupted run's final assignments.
+    pub fn resume(path: impl AsRef<Path>) -> Result<E2dtc, PersistError> {
+        let path = path.as_ref();
+        if !path.is_dir() {
+            return Self::resume_file(path);
+        }
+        let mut candidates = list_checkpoints(path)?;
+        if candidates.is_empty() {
+            return Err(PersistError::NoCheckpointFound(path.to_path_buf()));
+        }
+        let mut last_err = None;
+        while let Some(file) = candidates.pop() {
+            match Self::resume_file(&file) {
+                Ok(model) => return Ok(model),
+                Err(e) => {
+                    eprintln!("e2dtc: skipping checkpoint {}: {e}", file.display());
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| PersistError::NoCheckpointFound(path.to_path_buf())))
+    }
+
+    fn resume_file(path: &Path) -> Result<E2dtc, PersistError> {
+        let model = Self::load(path)?;
+        if !model.has_pending_training() {
+            return Err(PersistError::NotATrainingCheckpoint);
+        }
+        Ok(model)
     }
 
     /// Handle of the centroid parameter, if self-training has run.
@@ -186,6 +585,7 @@ impl E2dtc {
 mod tests {
     use super::*;
     use crate::config::E2dtcConfig;
+    use crate::model::Phase;
     use traj_data::SynthSpec;
 
     fn trained_model() -> (E2dtc, traj_data::Dataset) {
@@ -199,11 +599,35 @@ mod tests {
         (model, city.dataset)
     }
 
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("e2dtc_persist_test").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn expect_err(r: Result<E2dtc, PersistError>) -> PersistError {
+        match r {
+            Ok(_) => panic!("expected load/resume to fail"),
+            Err(e) => e,
+        }
+    }
+
+    fn cursor() -> TrainingState {
+        TrainingState {
+            phase: Phase::SelfTrain,
+            next_epoch: 1,
+            epochs_done: 4,
+            history: Vec::new(),
+            prev_assign: Some(vec![0, 1, 2]),
+            rng: vec![1, 2, 3, 4],
+        }
+    }
+
     #[test]
     fn save_load_roundtrip_preserves_inference() {
         let (mut model, dataset) = trained_model();
-        let dir = std::env::temp_dir().join("e2dtc_persist_test");
-        std::fs::create_dir_all(&dir).expect("mkdir");
+        let dir = test_dir("roundtrip");
         let path = dir.join("model.json");
         model.save(&path).expect("save");
 
@@ -212,20 +636,193 @@ mod tests {
         let loaded_emb = loaded.embed_dataset(&dataset);
         assert_eq!(orig_emb, loaded_emb, "embeddings diverge after reload");
         assert_eq!(model.assign(&dataset), loaded.assign(&dataset));
-        std::fs::remove_file(path).ok();
+        assert!(!loaded.has_pending_training(), "plain save must carry no cursor");
+    }
+
+    #[test]
+    fn v3_file_has_header_and_checksum() {
+        let (model, _) = trained_model();
+        let dir = test_dir("header");
+        let path = dir.join("model.json");
+        model.save(&path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        let header_end = bytes.iter().position(|&b| b == b'\n').expect("newline");
+        let header = std::str::from_utf8(&bytes[..header_end]).expect("utf8");
+        assert!(header.starts_with("E2DTC-CKPT v3 fnv1a64="), "header: {header}");
+        assert_eq!(fnv1a64(&bytes[header_end + 1..]), {
+            let hex = header.split("fnv1a64=").nth(1).unwrap().split(' ').next().unwrap();
+            u64::from_str_radix(hex, 16).unwrap()
+        });
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_cursor() {
+        let (mut model, _) = trained_model();
+        let dir = test_dir("cursor");
+        let path = dir.join(checkpoint_file_name(4));
+        model.save_checkpoint(&path, &cursor()).expect("save_checkpoint");
+        let resumed = E2dtc::resume(&path).expect("resume");
+        assert!(resumed.has_pending_training());
+        let st = resumed.pending.as_ref().expect("cursor");
+        assert_eq!(st.phase, Phase::SelfTrain);
+        assert_eq!(st.next_epoch, 1);
+        assert_eq!(st.epochs_done, 4);
+        assert_eq!(st.prev_assign.as_deref(), Some(&[0usize, 1, 2][..]));
+        assert_eq!(st.rng, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn resume_rejects_plain_model_save() {
+        let (model, _) = trained_model();
+        let dir = test_dir("notackpt");
+        let path = dir.join("model.json");
+        model.save(&path).expect("save");
+        match expect_err(E2dtc::resume(&path)) {
+            PersistError::NotATrainingCheckpoint => {}
+            other => panic!("expected NotATrainingCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_truncated_payload() {
+        let (mut model, _) = trained_model();
+        let dir = test_dir("truncated");
+        let path = dir.join(checkpoint_file_name(1));
+        model.save_checkpoint(&path, &cursor()).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 200]).expect("truncate");
+        match expect_err(E2dtc::load(&path)) {
+            PersistError::BadHeader(msg) => {
+                assert!(msg.contains("truncated"), "msg: {msg}")
+            }
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_flipped_payload_byte() {
+        let (mut model, _) = trained_model();
+        let dir = test_dir("bitrot");
+        let path = dir.join(checkpoint_file_name(1));
+        model.save_checkpoint(&path, &cursor()).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let header_end = bytes.iter().position(|&b| b == b'\n').expect("newline");
+        // Flip a digit deep in the payload without changing its length.
+        let target = header_end + 600;
+        bytes[target] = if bytes[target] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&path, &bytes).expect("write");
+        match expect_err(E2dtc::load(&path)) {
+            PersistError::ChecksumMismatch { .. } => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_shape_tensor() {
+        let (model, _) = trained_model();
+        let dir = test_dir("badshape");
+        let path = dir.join("model.json");
+        // Rebuild the saved form with one tensor the wrong shape.
+        let mut saved = model.to_saved(None);
+        let mut mangled = ParamStore::new();
+        for (slot, id) in saved.store.ids().enumerate() {
+            let t = if slot == 1 {
+                Tensor::zeros(1, 1)
+            } else {
+                saved.store.get(id).clone()
+            };
+            mangled.add(saved.store.name(id).to_string(), t);
+        }
+        saved.store = mangled;
+        write_atomic(&path, &encode(&saved).expect("encode")).expect("write");
+        match expect_err(E2dtc::load(&path)) {
+            PersistError::ShapeMismatch { saved: got, .. } => assert_eq!(got, (1, 1)),
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_non_finite_parameter() {
+        let (model, _) = trained_model();
+        let dir = test_dir("nonfinite");
+        let path = dir.join("model.json");
+        let mut saved = model.to_saved(None);
+        let first = saved.store.ids().next().expect("non-empty");
+        saved.store.get_mut(first).set(0, 0, f32::NAN);
+        write_atomic(&path, &encode(&saved).expect("encode")).expect("write");
+        match expect_err(E2dtc::load(&path)) {
+            PersistError::NonFiniteParam(_) => {}
+            other => panic!("expected NonFiniteParam, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_bad_rng_state() {
+        let (mut model, _) = trained_model();
+        let dir = test_dir("badrng");
+        let path = dir.join(checkpoint_file_name(1));
+        let mut st = cursor();
+        st.rng = vec![1, 2]; // wrong word count
+        model.save_checkpoint(&path, &st).expect("save");
+        match expect_err(E2dtc::load(&path)) {
+            PersistError::BadRngState(2) => {}
+            other => panic!("expected BadRngState(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_directory_falls_back_past_corrupt_newest() {
+        let (mut model, _) = trained_model();
+        let dir = test_dir("fallback");
+        model
+            .save_checkpoint(dir.join(checkpoint_file_name(2)), &cursor())
+            .expect("good checkpoint");
+        // Newest checkpoint is torn garbage (e.g. non-atomic writer died).
+        std::fs::write(dir.join(checkpoint_file_name(3)), b"E2DTC-CKPT v3 fnv1a64=dead")
+            .expect("write corrupt");
+        let resumed = E2dtc::resume(&dir).expect("resume must fall back");
+        assert_eq!(resumed.pending.as_ref().expect("cursor").epochs_done, 4);
+    }
+
+    #[test]
+    fn resume_empty_directory_is_a_typed_error() {
+        let dir = test_dir("empty");
+        match expect_err(E2dtc::resume(&dir)) {
+            PersistError::NoCheckpointFound(_) => {}
+            other => panic!("expected NoCheckpointFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rotation_keeps_newest_n() {
+        let (mut model, _) = trained_model();
+        let dir = test_dir("rotation");
+        for e in 1..=4 {
+            model
+                .save_checkpoint(dir.join(checkpoint_file_name(e)), &cursor())
+                .expect("save");
+        }
+        rotate_checkpoints(&dir, 2).expect("rotate");
+        let left: Vec<String> = list_checkpoints(&dir)
+            .expect("list")
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(left, vec![checkpoint_file_name(3), checkpoint_file_name(4)]);
+        // keep = 0 disables deletion.
+        rotate_checkpoints(&dir, 0).expect("rotate");
+        assert_eq!(list_checkpoints(&dir).expect("list").len(), 2);
     }
 
     #[test]
     fn loaded_model_reports_centroids() {
         let (model, _) = trained_model();
         assert!(model.centroids_param().is_some());
-        let dir = std::env::temp_dir().join("e2dtc_persist_test");
-        std::fs::create_dir_all(&dir).expect("mkdir");
+        let dir = test_dir("centroids");
         let path = dir.join("model2.json");
         model.save(&path).expect("save");
         let loaded = E2dtc::load(&path).expect("load");
         assert!(loaded.centroids_param().is_some());
-        std::fs::remove_file(path).ok();
     }
 
     #[test]
@@ -233,7 +830,7 @@ mod tests {
         assert!(E2dtc::load("/nonexistent/model.json").is_err());
     }
 
-    /// Splits a fused (v2) store back into the v1 per-gate layout, exactly
+    /// Splits a fused (v2+) store back into the v1 per-gate layout, exactly
     /// inverting [`migrate_v1_store`]. The r/z blocks of `b_h` fold into
     /// `b_r`/`b_z`: both biases feed the same gate pre-activation, so the
     /// sum is the equivalent v1 parameterization.
@@ -278,28 +875,34 @@ mod tests {
         v1
     }
 
-    #[test]
-    fn v1_checkpoint_loads_and_matches_fused_model() {
-        let (mut model, dataset) = trained_model();
-
-        // Synthesize a pre-fusion checkpoint carrying the same weights.
+    /// Builds a legacy (headerless, raw-JSON) v1 file for `model` with
+    /// `mutate` applied to the defused store first.
+    fn write_v1_file(
+        model: &E2dtc,
+        path: &Path,
+        mutate: impl FnOnce(ParamStore) -> ParamStore,
+    ) {
         let saved = SavedModel {
             format_version: 1,
             config: model.cfg.clone(),
             grid: model.grid.clone(),
             vocab: model.vocab.clone(),
             weights: model.weights.clone(),
-            store: defuse_to_v1(&model.store),
+            store: mutate(defuse_to_v1(&model.store)),
             has_centroids: model.centroids.is_some(),
             opt: Adam::new(model.cfg.lr).with_max_grad_norm(model.cfg.max_grad_norm),
+            training: None,
         };
-        let dir = std::env::temp_dir().join("e2dtc_persist_test");
-        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = std::io::BufWriter::new(File::create(path).expect("create"));
+        serde_json::to_writer(file, &saved).expect("write v1 checkpoint");
+    }
+
+    #[test]
+    fn v1_checkpoint_loads_and_matches_fused_model() {
+        let (mut model, dataset) = trained_model();
+        let dir = test_dir("v1");
         let path = dir.join("model_v1.json");
-        {
-            let file = BufWriter::new(File::create(&path).expect("create"));
-            serde_json::to_writer(file, &saved).expect("write v1 checkpoint");
-        }
+        write_v1_file(&model, &path, |s| s);
 
         let mut migrated = E2dtc::load(&path).expect("v1 checkpoint must load");
         assert!(migrated.centroids_param().is_some());
@@ -314,7 +917,35 @@ mod tests {
             assert!((a - b).abs() < 1e-3, "migrated embedding diverges: {a} vs {b}");
         }
         assert_eq!(model.assign(&dataset), migrated.assign(&dataset));
-        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_truncated_gru_cell_is_a_typed_error() {
+        let (model, _) = trained_model();
+        let dir = test_dir("v1trunc");
+        let path = dir.join("model_v1.json");
+        // Cut the store four tensors into the last GRU cell, so its
+        // remaining six per-gate tensors are missing.
+        write_v1_file(&model, &path, |s| {
+            let last_cell_start = s
+                .ids()
+                .enumerate()
+                .filter(|&(_, id)| s.name(id).ends_with(".w_xr"))
+                .map(|(i, _)| i)
+                .last()
+                .expect("defused store has GRU cells");
+            let mut out = ParamStore::new();
+            for id in s.ids().take(last_cell_start + 4) {
+                out.add(s.name(id).to_string(), s.get(id).clone());
+            }
+            out
+        });
+        match expect_err(E2dtc::load(&path)) {
+            PersistError::BadGruCell(msg) => {
+                assert!(msg.contains("truncated") || msg.contains("expected"), "msg: {msg}")
+            }
+            other => panic!("expected BadGruCell, got {other:?}"),
+        }
     }
 
     #[test]

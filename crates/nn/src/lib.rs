@@ -44,6 +44,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod gradcheck;
+pub mod guard;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -51,6 +52,7 @@ pub mod params;
 pub mod tape;
 pub mod tensor;
 
+pub use guard::{GuardVerdict, NonFiniteGuard};
 pub use params::{ParamId, ParamStore};
 pub use tape::{student_t_assignment, target_distribution, Tape, Var};
 pub use tensor::Tensor;

@@ -2,7 +2,10 @@
 # Tier-1 verification (see ROADMAP.md) plus a bench smoke-run.
 #
 #   build  — release build of the whole workspace
+#   lint   — clippy over the whole workspace with warnings promoted to errors
 #   test   — full test suite (unit + integration + proptests + gradchecks)
+#   fault  — fault-injection integration tests (NaN poisoning, torn/killed
+#            checkpoint saves) behind the e2dtc `fault-injection` feature
 #   bench  — bench_nn in --test mode: every benchmark body runs once so the
 #            harness, kernels, and the unfused reference stay compilable and
 #            panic-free without paying for a full measurement run
@@ -10,7 +13,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+cargo test -q -p e2dtc --features fault-injection --test fault_injection
 cargo bench -p e2dtc-bench --bench bench_nn -- --test
 
 echo "tier1: OK"

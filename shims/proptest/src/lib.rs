@@ -309,7 +309,7 @@ mod tests {
 
         #[test]
         fn prop_map_applies(n in (1usize..5).prop_map(|n| n * 10)) {
-            prop_assert!(n % 10 == 0 && n >= 10 && n < 50);
+            prop_assert!(n % 10 == 0 && (10..50).contains(&n));
         }
     }
 

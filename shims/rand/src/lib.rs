@@ -223,6 +223,26 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// Captures the raw xoshiro256++ state so a generator can be
+        /// checkpointed mid-stream and later restored with
+        /// [`StdRng::restore`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`];
+        /// the restored generator continues the exact same stream.
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ (it would
+        /// emit zeros forever); it is replaced by the seed-0 expansion so a
+        /// corrupted checkpoint cannot produce a degenerate generator.
+        pub fn restore(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::from_state(0);
+            }
+            Self { s }
+        }
+
         fn from_state(mut sm: u64) -> Self {
             // SplitMix64 expansion of the seed, per the xoshiro reference.
             let mut next = || {

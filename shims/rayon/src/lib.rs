@@ -97,13 +97,12 @@ mod pool {
         static P: OnceLock<Pool> = OnceLock::new();
         P.get_or_init(|| {
             let workers = super::current_num_threads().saturating_sub(1);
-            let pool = Pool {
+            Pool {
                 workers,
                 job: Mutex::new(Job { seq: 0, shared: 0 }),
                 work_cv: Condvar::new(),
                 run_lock: Mutex::new(0),
-            };
-            pool
+            }
         })
     }
 
