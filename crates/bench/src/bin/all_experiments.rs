@@ -9,16 +9,68 @@
 //! everything succeeded, `1` when some experiments failed, `2` when all
 //! of them did.
 //!
-//! Usage: `all_experiments [--scale paper] [--seed <s>]` — extra arguments
+//! Usage: `all_experiments [--scale paper] [--seed <s>] [--log-json PATH]`
+//! — `--log-json` writes a structured JSONL run log (same schema as
+//! `e2dtc train --log-json`, see DESIGN.md §11) with one timed span per
+//! experiment; it is consumed here, not forwarded, because each child
+//! process would otherwise truncate the shared file. All other arguments
 //! are forwarded verbatim to each experiment.
 
 use std::process::{Command, ExitCode};
+use traj_obs::Event;
 
 const EXPERIMENTS: [&str; 8] =
     ["table2", "table3", "table4", "fig3", "fig4", "fig5", "fig6", "ablations"];
 
+/// Splits `--log-json <path>` out of the raw argument list; everything
+/// else is forwarded to the experiment binaries.
+fn extract_log_json(args: Vec<String>) -> (Option<String>, Vec<String>) {
+    let mut log_json = None;
+    let mut forwarded = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--log-json" {
+            log_json = it.next();
+        } else {
+            forwarded.push(arg);
+        }
+    }
+    (log_json, forwarded)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (log_json, args) = extract_log_json(raw);
+    if let Some(path) = &log_json {
+        match traj_obs::jsonl_recorder(path) {
+            Ok(rec) => traj_obs::set_global(rec),
+            Err(e) => {
+                eprintln!("error: cannot open run log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let recorder = traj_obs::global();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if recorder.enabled() {
+        recorder.emit(&Event::RunHeader {
+            schema: traj_obs::event::SCHEMA_VERSION,
+            ts_ms: traj_obs::unix_millis(),
+            name: "all_experiments".to_string(),
+            seed,
+            git: traj_obs::git_describe(),
+            config: serde::Value::Array(
+                args.iter().map(|a| serde::Value::Str(a.clone())).collect(),
+            ),
+        });
+    }
+    let t0 = std::time::Instant::now();
+
     let exe_dir = std::env::current_exe()
         .expect("current exe path")
         .parent()
@@ -32,19 +84,32 @@ fn main() -> ExitCode {
     for (i, name) in all.iter().enumerate() {
         let path = exe_dir.join(name);
         println!("\n=== [{}/{}] {} ===", i + 1, total, name);
+        let _span = recorder.span(name);
         match Command::new(&path).args(&args).status() {
             Ok(status) if status.success() => {}
             Ok(status) => {
-                eprintln!("experiment {name} exited with {status}; continuing with the rest");
+                recorder.warn(format!(
+                    "experiment {name} exited with {status}; continuing with the rest"
+                ));
                 failed.push(format!("{name} ({status})"));
             }
             Err(e) => {
-                eprintln!("failed to launch {}: {e}; continuing with the rest", path.display());
+                recorder.warn(format!(
+                    "failed to launch {}: {e}; continuing with the rest",
+                    path.display()
+                ));
                 failed.push(format!("{name} (launch failed: {e})"));
             }
         }
     }
 
+    if recorder.enabled() {
+        recorder.emit(&Event::RunEnd {
+            status: (if failed.is_empty() { "ok" } else { "error" }).to_string(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+        recorder.flush();
+    }
     if failed.is_empty() {
         println!("\nall {total} experiments complete; artifacts in experiments_out/");
         ExitCode::SUCCESS

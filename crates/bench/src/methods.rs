@@ -45,12 +45,25 @@ pub struct MethodResult {
     pub seconds: f64,
 }
 
+impl MethodResult {
+    /// One structured run-log line per finished method, so a bench log
+    /// carries the same scores the plain-text report prints.
+    pub fn log(&self, recorder: &traj_obs::Recorder) {
+        recorder.info(format!(
+            "method {}: UACC {:.4} NMI {:.4} RI {:.4} ({:.3}s)",
+            self.name, self.scores.uacc, self.scores.nmi, self.scores.ri, self.seconds
+        ));
+    }
+}
+
 /// Runs `<metric> + KM`: pairwise distance matrix, then scalable
 /// (alternating) K-Medoids — the variant runnable at the paper's 80k
 /// scale; see `traj_cluster::kmedoids_alternating`. The mean of
 /// `repeats` runs is reported (the paper repeats each method 20× and
 /// averages).
 pub fn run_kmedoids(data: &LabeledDataset, metric: Metric, repeats: usize) -> MethodResult {
+    let recorder = traj_obs::global();
+    let _span = recorder.span(&format!("bench.kmedoids.{}", metric.name()));
     let start = Instant::now();
     let matrix = DistanceMatrix::compute(&data.dataset.trajectories, &metric);
     let matrix_secs = start.elapsed().as_secs_f64();
@@ -74,12 +87,14 @@ pub fn run_kmedoids(data: &LabeledDataset, metric: Metric, repeats: usize) -> Me
     let reps = repeats.max(1) as f64;
     // One end-to-end run = matrix computation + one clustering pass.
     let seconds = matrix_secs + cluster_start.elapsed().as_secs_f64() / reps;
-    MethodResult {
+    let result = MethodResult {
         name: format!("{} + KM", metric.name()),
         scores: Scores { uacc: acc.uacc / reps, nmi: acc.nmi / reps, ri: acc.ri / reps },
         assignments: last_assignment,
         seconds,
-    }
+    };
+    result.log(&recorder);
+    result
 }
 
 /// Grid-searches the EDR/LCSS match threshold over `candidates_m` and
@@ -117,6 +132,8 @@ pub fn run_deep(
     cfg: E2dtcConfig,
     repeats: usize,
 ) -> MethodResult {
+    let recorder = traj_obs::global();
+    let _span = recorder.span(&format!("bench.deep.{name}"));
     let mut acc = Scores::default();
     let mut seconds = 0.0;
     let mut last: Option<FitResult> = None;
@@ -134,12 +151,14 @@ pub fn run_deep(
     }
     let reps = repeats.max(1) as f64;
     let fit = last.expect("at least one run");
-    MethodResult {
+    let result = MethodResult {
         name: name.to_string(),
         scores: Scores { uacc: acc.uacc / reps, nmi: acc.nmi / reps, ri: acc.ri / reps },
         assignments: fit.assignments,
         seconds: seconds / reps,
-    }
+    };
+    result.log(&recorder);
+    result
 }
 
 /// Inference-only timing: embed + assign with a trained model (the

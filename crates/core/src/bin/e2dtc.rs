@@ -35,6 +35,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if let Some(path) = flags.get("log-json") {
+        match traj_obs::jsonl_recorder(path) {
+            Ok(rec) => traj_obs::set_global(rec),
+            Err(e) => {
+                eprintln!("error: cannot open run log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let recorder = traj_obs::global();
+    emit_run_header(&recorder, &cmd, &flags);
+    let t0 = std::time::Instant::now();
     let result = match cmd.as_str() {
         "generate" => generate(&flags),
         "train" => train(&flags),
@@ -46,6 +58,13 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    if recorder.enabled() {
+        recorder.emit(&traj_obs::Event::RunEnd {
+            status: (if result.is_ok() { "ok" } else { "error" }).to_string(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+        recorder.flush();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -65,7 +84,14 @@ USAGE:
                  [--checkpoint-dir DIR] [--checkpoint-every N]
                  [--checkpoint-keep N] [--resume DIR_OR_FILE]
   e2dtc assign   --model model.json --data data.json --out assignments.json
-  e2dtc evaluate --data data.json --assignments assignments.json";
+  e2dtc evaluate --data data.json --assignments assignments.json
+
+GLOBAL FLAGS:
+  --log-json PATH   write a structured JSONL run log (see DESIGN.md §11)
+  --quiet           suppress progress output on stdout";
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["quiet"];
 
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let cmd = args.first()?.clone();
@@ -73,15 +99,52 @@ fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let mut i = 1;
     while i < args.len() {
         let key = args[i].strip_prefix("--")?;
-        let value = args.get(i + 1)?;
-        flags.insert(key.to_string(), value.clone());
-        i += 2;
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args.get(i + 1)?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        }
     }
     Some((cmd, flags))
 }
 
+/// First line of the run log: command, seed, git state, and the raw flag
+/// map as the configuration tree (the resolved `E2dtcConfig` is a pure
+/// function of these flags plus the binary version).
+fn emit_run_header(
+    recorder: &traj_obs::Recorder,
+    cmd: &str,
+    flags: &HashMap<String, String>,
+) {
+    if !recorder.enabled() {
+        return;
+    }
+    let mut keys: Vec<&String> = flags.keys().collect();
+    keys.sort();
+    let config = serde::Value::Object(
+        keys.into_iter()
+            .map(|k| (k.clone(), serde::Value::Str(flags[k].clone())))
+            .collect(),
+    );
+    recorder.emit(&traj_obs::Event::RunHeader {
+        schema: traj_obs::event::SCHEMA_VERSION,
+        ts_ms: traj_obs::unix_millis(),
+        name: cmd.to_string(),
+        seed: flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0),
+        git: traj_obs::git_describe(),
+        config,
+    });
+}
+
 fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
     flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn quiet(flags: &HashMap<String, String>) -> bool {
+    flags.contains_key("quiet")
 }
 
 fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -99,12 +162,16 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let (labelled, _) =
         generate_ground_truth(&city.dataset, &city.pois, GroundTruthConfig::default());
     save_labeled_json(&labelled, out).map_err(|e| e.to_string())?;
-    println!(
+    let msg = format!(
         "wrote {} labelled trajectories ({} clusters, {} GPS points) to {out}",
         labelled.len(),
         labelled.num_clusters,
         labelled.dataset.total_points()
     );
+    if !quiet(flags) {
+        println!("{msg}");
+    }
+    traj_obs::global().info(msg);
     Ok(())
 }
 
@@ -144,14 +211,19 @@ fn train(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg.checkpoint_keep_last = ckpt_keep;
     }
 
+    let recorder = traj_obs::global();
     let mut model = match flags.get("resume") {
         Some(path) => {
             let model = E2dtc::resume(path).map_err(|e| e.to_string())?;
             let st = model.pending_training().expect("resume guarantees a cursor");
-            println!(
+            let msg = format!(
                 "resuming from {path}: {} epochs done, continuing at {:?} epoch {}",
                 st.epochs_done, st.phase, st.next_epoch
             );
+            if !quiet(flags) {
+                println!("{msg}");
+            }
+            recorder.info(msg);
             let mut model = model;
             if ckpt_dir.is_some() || ckpt_every > 0 {
                 model.set_checkpoint_policy(ckpt_dir.clone(), ckpt_every.max(1), ckpt_keep);
@@ -159,30 +231,42 @@ fn train(flags: &HashMap<String, String>) -> Result<(), String> {
             model
         }
         None => {
-            println!(
+            let msg = format!(
                 "training on {} trajectories, k = {k}, loss = {}",
                 data.len(),
                 cfg.loss_mode.name()
             );
+            if !quiet(flags) {
+                println!("{msg}");
+            }
+            recorder.info(msg);
             E2dtc::new(&data.dataset, cfg)
         }
     };
     let t0 = std::time::Instant::now();
     let fit = model.fit(&data.dataset);
-    println!(
+    let trained = format!(
         "trained in {:.1}s ({} epochs recorded, {} parameters)",
         t0.elapsed().as_secs_f64(),
         fit.history.len(),
         model.num_parameters()
     );
-    println!(
+    let scores = format!(
         "training-set scores: UACC {:.3}  NMI {:.3}  RI {:.3}",
         uacc(&fit.assignments, &data.labels),
         nmi(&fit.assignments, &data.labels),
         rand_index(&fit.assignments, &data.labels)
     );
+    if !quiet(flags) {
+        println!("{trained}");
+        println!("{scores}");
+    }
+    recorder.info(trained);
+    recorder.info(scores);
     model.save(out).map_err(|e| e.to_string())?;
-    println!("model saved to {out}");
+    if !quiet(flags) {
+        println!("model saved to {out}");
+    }
     Ok(())
 }
 
@@ -194,14 +278,20 @@ fn assign(flags: &HashMap<String, String>) -> Result<(), String> {
     let data = load_labeled_json(data_path).map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let assignments = model.assign(&data.dataset);
-    println!(
+    let msg = format!(
         "assigned {} trajectories in {:.0} ms",
         assignments.len(),
         t0.elapsed().as_secs_f64() * 1e3
     );
+    if !quiet(flags) {
+        println!("{msg}");
+    }
+    traj_obs::global().info(msg);
     let json = serde_json::to_string_pretty(&assignments).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| e.to_string())?;
-    println!("assignments written to {out}");
+    if !quiet(flags) {
+        println!("assignments written to {out}");
+    }
     Ok(())
 }
 
@@ -218,11 +308,14 @@ fn evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
             data.len()
         ));
     }
-    println!(
+    let msg = format!(
         "UACC {:.3}  NMI {:.3}  RI {:.3}",
         uacc(&assignments, &data.labels),
         nmi(&assignments, &data.labels),
         rand_index(&assignments, &data.labels)
     );
+    // The metrics line is the command's output, so `--quiet` keeps it.
+    println!("{msg}");
+    traj_obs::global().info(msg);
     Ok(())
 }

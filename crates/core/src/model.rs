@@ -70,6 +70,16 @@ pub enum Phase {
     SelfTrain,
 }
 
+impl Phase {
+    /// Wire name used in run-log epoch events.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Phase::Pretrain => "pretrain",
+            Phase::SelfTrain => "selftrain",
+        }
+    }
+}
+
 /// One epoch of training history.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EpochRecord {
@@ -86,12 +96,38 @@ pub struct EpochRecord {
     /// Fraction of trajectories that changed cluster at the epoch start
     /// (self-training only).
     pub label_change: Option<f64>,
+    /// Mean pre-clip global gradient norm over applied optimizer steps
+    /// (0 when no step was applied). Pre-v3 records deserialize to 0.
+    #[serde(default)]
+    pub grad_norm: f32,
+    /// Learning rate in force during the epoch. Pre-v3 records
+    /// deserialize to 0.
+    #[serde(default)]
+    pub lr: f32,
     /// Batches whose update was dropped by the non-finite guard.
     #[serde(default)]
     pub skipped_batches: usize,
     /// Snapshot rollbacks consumed while (re)running this epoch.
     #[serde(default)]
     pub rollbacks: usize,
+}
+
+impl EpochRecord {
+    /// The record as a run-log event (see `traj_obs::event`).
+    pub fn to_event(&self) -> traj_obs::Event {
+        traj_obs::Event::Epoch {
+            phase: self.phase.wire_name().to_string(),
+            epoch: self.epoch as u64,
+            recon_loss: f64::from(self.recon_loss),
+            cluster_loss: f64::from(self.cluster_loss),
+            triplet_loss: f64::from(self.triplet_loss),
+            grad_norm: f64::from(self.grad_norm),
+            lr: f64::from(self.lr),
+            label_change: self.label_change,
+            skipped_batches: self.skipped_batches as u64,
+            rollbacks: self.rollbacks as u64,
+        }
+    }
 }
 
 /// Mid-training cursor carried inside format-v3 checkpoints: everything
@@ -125,6 +161,16 @@ impl TrainingState {
             rng: Vec::new(),
         }
     }
+}
+
+/// Outcome of one joint-loss mini-batch step.
+struct StepOutcome {
+    l_r: f32,
+    l_c: f32,
+    l_t: f32,
+    /// Pre-clip global gradient norm; 0 when the guard withheld the step.
+    grad_norm: f32,
+    verdict: GuardVerdict,
 }
 
 /// In-memory start-of-epoch snapshot the guard rolls back to. Never hits
@@ -174,6 +220,10 @@ pub struct E2dtc {
     /// Training cursor restored by [`E2dtc::resume`], consumed by the
     /// next `fit` call.
     pub(crate) pending: Option<TrainingState>,
+    /// Telemetry handle; captured from `traj_obs::global()` at
+    /// construction, overridable via [`E2dtc::set_recorder`]. Never
+    /// serialized.
+    pub(crate) recorder: traj_obs::Recorder,
     /// Test-only fault-injection plan (see [`crate::fault`]).
     #[cfg(feature = "fault-injection")]
     pub(crate) fault: Option<crate::fault::FaultPlan>,
@@ -232,9 +282,16 @@ impl E2dtc {
             rng,
             sequences,
             pending: None,
+            recorder: traj_obs::global(),
             #[cfg(feature = "fault-injection")]
             fault: None,
         }
+    }
+
+    /// Replaces the telemetry recorder (models default to the global one
+    /// in force at construction time).
+    pub fn set_recorder(&mut self, recorder: traj_obs::Recorder) {
+        self.recorder = recorder;
     }
 
     /// The configuration in force.
@@ -315,9 +372,11 @@ impl E2dtc {
         let mut rollback_budget = MAX_ROLLBACKS;
         let mut pending_rollbacks = 0usize;
         let mut tape = Tape::new();
+        let fit_span = self.recorder.span("fit");
 
         // — Phase 2: pre-training (skipped entirely when resuming past it) —
         if st.phase == Phase::Pretrain {
+            let _phase_span = self.recorder.span("pretrain");
             let mut epoch = st.next_epoch;
             while epoch < self.cfg.pretrain_epochs {
                 let snap = self.snapshot(&st);
@@ -325,10 +384,10 @@ impl E2dtc {
                     self.pretrain_epoch(dataset, &mut tape, epoch, &mut guard);
                 if rolled {
                     if rollback_budget == 0 {
-                        eprintln!(
+                        self.recorder.warn(format!(
                             "e2dtc: rollback budget exhausted during pre-training; \
                              stopping early at epoch {epoch}"
-                        );
+                        ));
                         break;
                     }
                     rollback_budget -= 1;
@@ -337,6 +396,7 @@ impl E2dtc {
                     continue; // replay the same epoch from the snapshot
                 }
                 rec.rollbacks = std::mem::take(&mut pending_rollbacks);
+                self.recorder.emit(&rec.to_event());
                 st.history.push(rec);
                 st.epochs_done += 1;
                 st.next_epoch = epoch + 1;
@@ -359,6 +419,8 @@ impl E2dtc {
                     self.cfg.seed ^ 0x6b6d65616e73,
                 );
                 callback(0, emb.data(), &res.assignment);
+                drop(fit_span);
+                self.finish_run();
                 return FitResult {
                     assignments: res.assignment,
                     embeddings: emb.into_vec(),
@@ -369,6 +431,7 @@ impl E2dtc {
             }
 
             // Phase transition: seed the centroids and anneal the LR.
+            let _init_span = self.recorder.span("centroid_init");
             let emb = self.embed_dataset(dataset);
             self.init_centroids(&emb);
             self.opt.set_lr(self.cfg.lr * self.cfg.selftrain_lr_scale);
@@ -377,6 +440,7 @@ impl E2dtc {
         }
 
         // — Phase 3: self-training (Algorithm 1, lines 3–10) —
+        let phase_span = self.recorder.span("selftrain");
         let centroids_id =
             self.centroids.expect("centroids exist after pre-training or resume");
         let mut epoch = st.next_epoch;
@@ -392,16 +456,25 @@ impl E2dtc {
             callback(epoch, emb.data(), &assign);
             if let Some(c) = change {
                 if c <= self.cfg.delta {
-                    st.history.push(EpochRecord {
+                    let rec = EpochRecord {
                         phase: Phase::SelfTrain,
                         epoch,
                         recon_loss: 0.0,
                         cluster_loss: 0.0,
                         triplet_loss: 0.0,
                         label_change: Some(c),
+                        grad_norm: 0.0,
+                        lr: self.opt.lr(),
                         skipped_batches: 0,
                         rollbacks: std::mem::take(&mut pending_rollbacks),
-                    });
+                    };
+                    self.recorder.emit(&rec.to_event());
+                    self.recorder.info(format!(
+                        "self-training converged at epoch {epoch}: label change {c:.5} <= \
+                         delta {}",
+                        self.cfg.delta
+                    ));
+                    st.history.push(rec);
                     break;
                 }
             }
@@ -410,12 +483,15 @@ impl E2dtc {
             // One pass of joint training.
             let batches = self.make_batches(dataset.len());
             let (mut sum_r, mut sum_c, mut sum_t) = (0.0f64, 0.0f64, 0.0f64);
+            let mut sum_norm = 0.0f64;
             let mut count = 0usize;
             let mut skipped = 0usize;
             let mut rolled = false;
+            let mut batch_ms = self.recorder.enabled().then(traj_obs::Histogram::new);
             for batch in &batches {
+                let t0 = batch_ms.is_some().then(std::time::Instant::now);
                 let negatives = mine_negatives(batch, &assign, &emb);
-                let (lr_, lc, lt, verdict) = self.joint_step(
+                let step = self.joint_step(
                     &mut tape,
                     dataset,
                     batch,
@@ -424,11 +500,15 @@ impl E2dtc {
                     &negatives,
                     &mut guard,
                 );
-                match verdict {
+                if let (Some(h), Some(t0)) = (batch_ms.as_mut(), t0) {
+                    h.record(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                match step.verdict {
                     GuardVerdict::Proceed => {
-                        sum_r += lr_ as f64;
-                        sum_c += lc as f64;
-                        sum_t += lt as f64;
+                        sum_r += step.l_r as f64;
+                        sum_c += step.l_c as f64;
+                        sum_t += step.l_t as f64;
+                        sum_norm += step.grad_norm as f64;
                         count += 1;
                     }
                     GuardVerdict::Skip => skipped += 1,
@@ -441,10 +521,10 @@ impl E2dtc {
             }
             if rolled {
                 if rollback_budget == 0 {
-                    eprintln!(
+                    self.recorder.warn(format!(
                         "e2dtc: rollback budget exhausted during self-training; \
                          stopping early at epoch {epoch}"
-                    );
+                    ));
                     break;
                 }
                 rollback_budget -= 1;
@@ -452,25 +532,35 @@ impl E2dtc {
                 self.restore(&snap, &mut st, &mut guard);
                 continue; // replay the same epoch from the snapshot
             }
-            st.history.push(EpochRecord {
+            if let Some(h) = &batch_ms {
+                self.recorder.histogram("selftrain.batch_ms", h);
+            }
+            let rec = EpochRecord {
                 phase: Phase::SelfTrain,
                 epoch,
                 recon_loss: (sum_r / count.max(1) as f64) as f32,
                 cluster_loss: (sum_c / count.max(1) as f64) as f32,
                 triplet_loss: (sum_t / count.max(1) as f64) as f32,
                 label_change: change,
+                grad_norm: (sum_norm / count.max(1) as f64) as f32,
+                lr: self.opt.lr(),
                 skipped_batches: skipped,
                 rollbacks: std::mem::take(&mut pending_rollbacks),
-            });
+            };
+            self.recorder.emit(&rec.to_event());
+            st.history.push(rec);
             st.epochs_done += 1;
             st.next_epoch = epoch + 1;
             self.maybe_checkpoint(&mut st);
             epoch += 1;
         }
+        drop(phase_span);
 
         // Final assignment with the trained parameters.
         let emb = self.embed_dataset(dataset);
         let q = student_t_assignment(&emb, self.store.get(centroids_id));
+        drop(fit_span);
+        self.finish_run();
         FitResult {
             assignments: hard_assignment(&q),
             embed_dim: emb.cols(),
@@ -478,6 +568,17 @@ impl E2dtc {
             centroids: self.store.get(centroids_id).data().to_vec(),
             history: st.history,
         }
+    }
+
+    /// End-of-run telemetry: kernel counter snapshots, then a flush so a
+    /// crash after `fit` cannot lose buffered run-log lines.
+    fn finish_run(&self) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let nn = traj_nn::telemetry::counters();
+        self.recorder.counters(&nn);
+        self.recorder.flush();
     }
 
     /// Phase 2: corrupt-and-reconstruct pre-training (Algorithm 1,
@@ -514,10 +615,13 @@ impl E2dtc {
     ) -> (EpochRecord, bool) {
         let batches = self.make_batches(dataset.len());
         let mut total = 0.0f64;
+        let mut sum_norm = 0.0f64;
         let mut count = 0usize;
         let mut skipped = 0usize;
         let mut rolled = false;
+        let mut batch_ms = self.recorder.enabled().then(traj_obs::Histogram::new);
         for batch in &batches {
+            let t0 = batch_ms.is_some().then(std::time::Instant::now);
             let (inputs, targets) = self.corrupted_batch(dataset, batch);
             tape.clear();
             let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
@@ -534,9 +638,13 @@ impl E2dtc {
             );
             let loss_val = self.observe_loss(tape.value(loss).get(0, 0));
             tape.backward(loss, &mut self.store);
-            match guard.observe(loss_val, &self.store) {
+            let verdict = guard.observe(loss_val, &self.store);
+            if let (Some(h), Some(t0)) = (batch_ms.as_mut(), t0) {
+                h.record(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            match verdict {
                 GuardVerdict::Proceed => {
-                    self.opt.step(&mut self.store);
+                    sum_norm += self.opt.step(&mut self.store) as f64;
                     total += loss_val as f64;
                     count += 1;
                 }
@@ -552,6 +660,11 @@ impl E2dtc {
                 }
             }
         }
+        if let Some(h) = &batch_ms {
+            if !rolled {
+                self.recorder.histogram("pretrain.batch_ms", h);
+            }
+        }
         let rec = EpochRecord {
             phase: Phase::Pretrain,
             epoch,
@@ -559,6 +672,8 @@ impl E2dtc {
             cluster_loss: 0.0,
             triplet_loss: 0.0,
             label_change: None,
+            grad_norm: (sum_norm / count.max(1) as f64) as f32,
+            lr: self.opt.lr(),
             skipped_batches: skipped,
             rollbacks: 0,
         };
@@ -602,9 +717,9 @@ impl E2dtc {
 
     /// One joint-loss mini-batch: `L_r + β·L_c + γ·L_t` per the active
     /// [`LossMode`]. `negatives[row]` is the batch-row index of the mined
-    /// triplet negative for anchor `row`. Returns the three loss values
-    /// and the guard's verdict (the optimizer step is applied only on
-    /// [`GuardVerdict::Proceed`]).
+    /// triplet negative for anchor `row`. Returns the three loss values,
+    /// the pre-clip gradient norm, and the guard's verdict (the optimizer
+    /// step is applied only on [`GuardVerdict::Proceed`]).
     #[allow(clippy::too_many_arguments)]
     fn joint_step(
         &mut self,
@@ -615,7 +730,7 @@ impl E2dtc {
         centroids_id: ParamId,
         negatives: &[usize],
         guard: &mut NonFiniteGuard,
-    ) -> (f32, f32, f32, GuardVerdict) {
+    ) -> StepOutcome {
         let (inputs, targets) = self.corrupted_batch(dataset, batch);
         tape.clear();
         let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
@@ -670,13 +785,14 @@ impl E2dtc {
         let total_val = self.observe_loss(tape.value(total).get(0, 0));
         tape.backward(total, &mut self.store);
         let verdict = guard.observe(total_val, &self.store);
+        let mut grad_norm = 0.0;
         match verdict {
             GuardVerdict::Proceed => {
-                self.opt.step(&mut self.store);
+                grad_norm = self.opt.step(&mut self.store);
             }
             GuardVerdict::Skip | GuardVerdict::Rollback => self.store.zero_grads(),
         }
-        (lr_val, lc_val, lt_val, verdict)
+        StepOutcome { l_r: lr_val, l_c: lc_val, l_t: lt_val, grad_norm, verdict }
     }
 
     /// Fault-injection seam: the batch loss as the guard will see it.
@@ -727,7 +843,8 @@ impl E2dtc {
         let Some(dir) = self.cfg.checkpoint_dir.clone() else { return };
         let dir = std::path::PathBuf::from(dir);
         if let Err(e) = std::fs::create_dir_all(&dir) {
-            eprintln!("e2dtc: cannot create checkpoint dir {}: {e}", dir.display());
+            self.recorder
+                .warn(format!("e2dtc: cannot create checkpoint dir {}: {e}", dir.display()));
             return;
         }
         st.rng = self.rng.state().to_vec();
@@ -737,11 +854,12 @@ impl E2dtc {
                 if let Err(e) =
                     crate::persist::rotate_checkpoints(&dir, self.cfg.checkpoint_keep_last)
                 {
-                    eprintln!("e2dtc: checkpoint rotation failed: {e}");
+                    self.recorder.warn(format!("e2dtc: checkpoint rotation failed: {e}"));
                 }
             }
             Err(e) => {
-                eprintln!("e2dtc: checkpoint write failed ({e}); training continues");
+                self.recorder
+                    .warn(format!("e2dtc: checkpoint write failed ({e}); training continues"));
             }
         }
     }

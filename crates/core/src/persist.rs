@@ -522,6 +522,7 @@ impl E2dtc {
                 None => StdRng::seed_from_u64(saved.config.seed ^ 0x6c6f6164),
             },
             pending: saved.training,
+            recorder: traj_obs::global(),
             cfg: saved.config,
             grid: saved.grid,
             vocab: saved.vocab,
@@ -559,7 +560,8 @@ impl E2dtc {
             match Self::resume_file(&file) {
                 Ok(model) => return Ok(model),
                 Err(e) => {
-                    eprintln!("e2dtc: skipping checkpoint {}: {e}", file.display());
+                    traj_obs::global()
+                        .warn(format!("e2dtc: skipping checkpoint {}: {e}", file.display()));
                     last_err = Some(e);
                 }
             }

@@ -20,6 +20,7 @@ pub mod hausdorff;
 pub mod lcss;
 pub mod matrix;
 pub mod metric;
+pub mod telemetry;
 
 pub use matrix::DistanceMatrix;
 pub use metric::Metric;

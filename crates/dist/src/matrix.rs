@@ -22,6 +22,8 @@ impl DistanceMatrix {
     /// last row gets none; flat (i, j) pairs split into equal chunks keep
     /// every thread busy until the triangle is exhausted.
     pub fn compute(trajectories: &[Trajectory], metric: &Metric) -> Self {
+        let recorder = traj_obs::global();
+        let _span = recorder.span("dist.matrix");
         let n = trajectories.len();
         let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 0..n {
@@ -29,6 +31,7 @@ impl DistanceMatrix {
                 pairs.push((i, j));
             }
         }
+        crate::telemetry::DIST_PAIRS.add(pairs.len() as u64);
         let distances: Vec<f64> = pairs
             .par_iter()
             .map(|&(i, j)| metric.distance(&trajectories[i], &trajectories[j]))

@@ -1,0 +1,22 @@
+//! Telemetry counters for distance computation.
+
+use traj_obs::Counter;
+
+/// Pairwise distances computed by [`crate::DistanceMatrix::compute`]
+/// (cumulative over all matrices built in this process).
+pub static DIST_PAIRS: Counter = Counter::new("dist.pairs");
+
+/// Every counter this crate maintains, for bulk snapshotting.
+pub fn counters() -> [&'static Counter; 1] {
+    [&DIST_PAIRS]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_namespaced() {
+        assert_eq!(DIST_PAIRS.name(), "dist.pairs");
+    }
+}

@@ -81,6 +81,7 @@ impl GruCell {
     pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
         debug_assert_eq!(tape.value(x).cols(), self.input_dim, "GRU input width mismatch");
         debug_assert_eq!(tape.value(h).cols(), self.hidden_dim, "GRU hidden width mismatch");
+        crate::telemetry::GRU_CELL_STEPS.inc();
         let hd = self.hidden_dim;
 
         // All six per-gate products collapse into two fused matmuls.

@@ -50,6 +50,7 @@ pub mod layers;
 pub mod optim;
 pub mod params;
 pub mod tape;
+pub mod telemetry;
 pub mod tensor;
 
 pub use guard::{GuardVerdict, NonFiniteGuard};

@@ -83,6 +83,7 @@ impl Adam {
             self.v.push(Tensor::zeros(r, c));
         }
 
+        crate::telemetry::ADAM_STEPS.inc();
         let pre_clip_norm = match self.max_grad_norm {
             Some(max) => store.clip_grad_norm(max),
             None => store.grad_global_norm(),

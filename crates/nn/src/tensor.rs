@@ -387,6 +387,8 @@ impl Tensor {
 
     fn matmul_into(&self, other: &Tensor, out: &mut Tensor, parallel: bool) {
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        crate::telemetry::MATMUL_CALLS.inc();
+        crate::telemetry::MATMUL_FLOPS.add(2 * (m * k * n) as u64);
         if parallel && m > 0 && n > 0 {
             let chunk_rows = par_row_chunk(m);
             out.data.par_chunks_mut(chunk_rows * n).enumerate_for_each(|idx, chunk| {
@@ -430,6 +432,8 @@ impl Tensor {
 
     fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor, parallel: bool) {
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        crate::telemetry::MATMUL_CALLS.inc();
+        crate::telemetry::MATMUL_FLOPS.add(2 * (m * k * n) as u64);
         if parallel && m > 0 && n > 0 {
             let chunk_rows = par_row_chunk(m);
             out.data.par_chunks_mut(chunk_rows * n).enumerate_for_each(|idx, chunk| {
@@ -454,6 +458,8 @@ impl Tensor {
     /// [`Tensor::matmul_nt`] with the kernel path chosen explicitly.
     pub fn matmul_nt_with(&self, other: &Tensor, parallel: bool) -> Tensor {
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        crate::telemetry::MATMUL_CALLS.inc();
+        crate::telemetry::MATMUL_FLOPS.add(2 * (m * k * n) as u64);
         // One blocked transpose of `other` turns the k-reduction dots —
         // which serialize on FMA latency — into the streaming row-update
         // form of `mm_nn_block`. The nn kernel accumulates each element

@@ -1,0 +1,96 @@
+//! Monotone counters for hot-path instrumentation.
+//!
+//! A [`Counter`] is a named relaxed atomic — cheap enough to bump once
+//! per kernel call (one `fetch_add` on an uncontended cache line; the
+//! kernels themselves are thousands of FLOPs). Counters only ever grow;
+//! sinks receive point-in-time snapshots via [`Counter::snapshot`], and
+//! the monotonicity is what makes two snapshots diffable.
+//!
+//! Counters are designed to live in `static`s inside the instrumented
+//! crate (construction is `const`), so the hot path never touches a
+//! registry or a lock:
+//!
+//! ```
+//! use traj_obs::Counter;
+//! static MATMUL_CALLS: Counter = Counter::new("nn.matmul_calls");
+//! MATMUL_CALLS.inc();
+//! assert!(MATMUL_CALLS.get() >= 1);
+//! ```
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonically-increasing `u64`.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter (usable in `static` position).
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0) }
+    }
+
+    /// The counter's wire name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Relaxed ordering: counters are statistics, not
+    /// synchronization.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current cumulative value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot as a schema event.
+    pub fn snapshot(&self) -> Event {
+        Event::Counter { name: self.name.to_string(), value: self.get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = Counter::new("test.counter");
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.snapshot(), Event::Counter { name: "test.counter".into(), value: 10 });
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        static C: Counter = Counter::new("test.parallel");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        C.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert_eq!(C.get(), 4000);
+    }
+}

@@ -1,0 +1,449 @@
+//! The run-log event schema (one JSON object per JSONL line).
+//!
+//! Every event is a JSON object whose `"type"` field names the variant;
+//! the remaining fields are flat. The schema is versioned by the
+//! `schema` field of [`Event::RunHeader`] (currently 1). `Serialize` /
+//! `Deserialize` are written by hand against the serde value tree so the
+//! on-disk layout is an explicit contract rather than a derive artifact —
+//! `schema::parse_jsonl` round-trips through these impls.
+//!
+//! JSON cannot represent non-finite floats; the serializer writes them as
+//! `null`, and the parser reads a `null` numeric field back as NaN (or
+//! `None` for optional fields).
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Current schema version stamped into run headers.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Severity of a [`Event::Message`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Informational progress (replaces stdout chatter).
+    Info,
+    /// Something degraded but the run continues (replaces `eprintln!`).
+    Warn,
+}
+
+impl Level {
+    /// Wire name of the level.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, Error> {
+        match s {
+            "info" => Ok(Level::Info),
+            "warn" => Ok(Level::Warn),
+            other => Err(Error::custom(format!("unknown message level `{other}`"))),
+        }
+    }
+}
+
+/// One run-log event. See DESIGN.md §11 for the field-by-field contract.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// First line of every log: identifies the run.
+    RunHeader {
+        /// Schema version ([`SCHEMA_VERSION`]).
+        schema: u64,
+        /// Unix milliseconds at run start.
+        ts_ms: u64,
+        /// Human name of the run (e.g. `train`, `all_experiments`).
+        name: String,
+        /// Master RNG seed of the run.
+        seed: u64,
+        /// `git describe --always --dirty` of the producing tree.
+        git: String,
+        /// Arbitrary configuration tree (e.g. the full `E2dtcConfig`).
+        config: Value,
+    },
+    /// A timed region began. `id`s are unique within a log; `parent` is
+    /// the id of the enclosing open span, if any.
+    SpanOpen {
+        /// Unique span id.
+        id: u64,
+        /// Id of the enclosing open span.
+        parent: Option<u64>,
+        /// Span name (e.g. `fit`, `pretrain`, `dist.matrix`).
+        name: String,
+        /// Unix milliseconds at open.
+        ts_ms: u64,
+    },
+    /// A timed region ended. Spans close in LIFO order.
+    SpanClose {
+        /// Id of the span being closed (must be the innermost open one).
+        id: u64,
+        /// Name repeated for grep-ability of flat logs.
+        name: String,
+        /// Wall time between open and close, milliseconds.
+        wall_ms: f64,
+    },
+    /// One completed training epoch (the unit the paper's loss-dynamics
+    /// analysis works in).
+    Epoch {
+        /// `pretrain` or `selftrain`.
+        phase: String,
+        /// Epoch index within its phase.
+        epoch: u64,
+        /// Mean reconstruction loss `L_r` over non-skipped batches.
+        recon_loss: f64,
+        /// Mean clustering loss `L_c` (0 when inactive).
+        cluster_loss: f64,
+        /// Mean triplet loss `L_t` (0 when inactive).
+        triplet_loss: f64,
+        /// Mean pre-clip global gradient norm over optimizer steps.
+        grad_norm: f64,
+        /// Learning rate in force during the epoch.
+        lr: f64,
+        /// Fraction of trajectories that changed cluster at the epoch
+        /// start (self-training only) — the DEC churn / stop-rule signal.
+        label_change: Option<f64>,
+        /// Batches dropped by the non-finite guard.
+        skipped_batches: u64,
+        /// Snapshot rollbacks consumed while (re)running the epoch.
+        rollbacks: u64,
+    },
+    /// Point-in-time snapshot of a monotone counter.
+    Counter {
+        /// Counter name (e.g. `nn.matmul_calls`).
+        name: String,
+        /// Cumulative value at snapshot time.
+        value: u64,
+    },
+    /// Snapshot of a [`crate::Histogram`].
+    Histogram {
+        /// Histogram name (e.g. `batch_ms`).
+        name: String,
+        /// Number of recorded samples.
+        count: u64,
+        /// Sum of recorded samples.
+        sum: f64,
+        /// Smallest recorded sample (0 when empty).
+        min: f64,
+        /// Largest recorded sample (0 when empty).
+        max: f64,
+        /// Power-of-two bucket counts, trailing zeros trimmed (see
+        /// [`crate::hist`] for the bucket boundaries).
+        buckets: Vec<u64>,
+    },
+    /// Free-form diagnostic line routed through the sink.
+    Message {
+        /// Severity.
+        level: Level,
+        /// Message text.
+        text: String,
+    },
+    /// Last line of a complete log.
+    RunEnd {
+        /// `ok`, or a short failure description.
+        status: String,
+        /// Total run wall time, milliseconds.
+        wall_ms: f64,
+    },
+}
+
+impl Event {
+    /// The wire name in the `"type"` field.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::RunHeader { .. } => "run_header",
+            Event::SpanOpen { .. } => "span_open",
+            Event::SpanClose { .. } => "span_close",
+            Event::Epoch { .. } => "epoch",
+            Event::Counter { .. } => "counter",
+            Event::Histogram { .. } => "histogram",
+            Event::Message { .. } => "message",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn opt_u64(v: Option<u64>) -> Value {
+    match v {
+        Some(x) => Value::UInt(x),
+        None => Value::Null,
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> Value {
+    match v {
+        Some(x) => Value::Float(x),
+        None => Value::Null,
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let tag = |rest: Vec<(&str, Value)>| {
+            let mut fields = vec![("type", Value::Str(self.type_name().to_string()))];
+            fields.extend(rest);
+            obj(fields)
+        };
+        match self {
+            Event::RunHeader { schema, ts_ms, name, seed, git, config } => tag(vec![
+                ("schema", Value::UInt(*schema)),
+                ("ts_ms", Value::UInt(*ts_ms)),
+                ("name", Value::Str(name.clone())),
+                ("seed", Value::UInt(*seed)),
+                ("git", Value::Str(git.clone())),
+                ("config", config.clone()),
+            ]),
+            Event::SpanOpen { id, parent, name, ts_ms } => tag(vec![
+                ("id", Value::UInt(*id)),
+                ("parent", opt_u64(*parent)),
+                ("name", Value::Str(name.clone())),
+                ("ts_ms", Value::UInt(*ts_ms)),
+            ]),
+            Event::SpanClose { id, name, wall_ms } => tag(vec![
+                ("id", Value::UInt(*id)),
+                ("name", Value::Str(name.clone())),
+                ("wall_ms", Value::Float(*wall_ms)),
+            ]),
+            Event::Epoch {
+                phase,
+                epoch,
+                recon_loss,
+                cluster_loss,
+                triplet_loss,
+                grad_norm,
+                lr,
+                label_change,
+                skipped_batches,
+                rollbacks,
+            } => tag(vec![
+                ("phase", Value::Str(phase.clone())),
+                ("epoch", Value::UInt(*epoch)),
+                ("recon_loss", Value::Float(*recon_loss)),
+                ("cluster_loss", Value::Float(*cluster_loss)),
+                ("triplet_loss", Value::Float(*triplet_loss)),
+                ("grad_norm", Value::Float(*grad_norm)),
+                ("lr", Value::Float(*lr)),
+                ("label_change", opt_f64(*label_change)),
+                ("skipped_batches", Value::UInt(*skipped_batches)),
+                ("rollbacks", Value::UInt(*rollbacks)),
+            ]),
+            Event::Counter { name, value } => tag(vec![
+                ("name", Value::Str(name.clone())),
+                ("value", Value::UInt(*value)),
+            ]),
+            Event::Histogram { name, count, sum, min, max, buckets } => tag(vec![
+                ("name", Value::Str(name.clone())),
+                ("count", Value::UInt(*count)),
+                ("sum", Value::Float(*sum)),
+                ("min", Value::Float(*min)),
+                ("max", Value::Float(*max)),
+                ("buckets", buckets.to_value()),
+            ]),
+            Event::Message { level, text } => tag(vec![
+                ("level", Value::Str(level.name().to_string())),
+                ("text", Value::Str(text.clone())),
+            ]),
+            Event::RunEnd { status, wall_ms } => tag(vec![
+                ("status", Value::Str(status.clone())),
+                ("wall_ms", Value::Float(*wall_ms)),
+            ]),
+        }
+    }
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    v.get_field(name).ok_or_else(|| Error::missing_field(name))
+}
+
+fn get_u64(v: &Value, name: &str) -> Result<u64, Error> {
+    u64::from_value(field(v, name)?)
+}
+
+/// Numeric field tolerant of the shim's non-finite-as-null encoding.
+fn get_f64(v: &Value, name: &str) -> Result<f64, Error> {
+    match field(v, name)? {
+        Value::Null => Ok(f64::NAN),
+        other => f64::from_value(other),
+    }
+}
+
+fn get_str(v: &Value, name: &str) -> Result<String, Error> {
+    String::from_value(field(v, name)?)
+}
+
+fn get_opt_u64(v: &Value, name: &str) -> Result<Option<u64>, Error> {
+    match v.get_field(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(other) => u64::from_value(other).map(Some),
+    }
+}
+
+fn get_opt_f64(v: &Value, name: &str) -> Result<Option<f64>, Error> {
+    match v.get_field(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(other) => f64::from_value(other).map(Some),
+    }
+}
+
+impl Deserialize for Event {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let ty = get_str(v, "type")?;
+        match ty.as_str() {
+            "run_header" => Ok(Event::RunHeader {
+                schema: get_u64(v, "schema")?,
+                ts_ms: get_u64(v, "ts_ms")?,
+                name: get_str(v, "name")?,
+                seed: get_u64(v, "seed")?,
+                git: get_str(v, "git")?,
+                config: field(v, "config")?.clone(),
+            }),
+            "span_open" => Ok(Event::SpanOpen {
+                id: get_u64(v, "id")?,
+                parent: get_opt_u64(v, "parent")?,
+                name: get_str(v, "name")?,
+                ts_ms: get_u64(v, "ts_ms")?,
+            }),
+            "span_close" => Ok(Event::SpanClose {
+                id: get_u64(v, "id")?,
+                name: get_str(v, "name")?,
+                wall_ms: get_f64(v, "wall_ms")?,
+            }),
+            "epoch" => Ok(Event::Epoch {
+                phase: get_str(v, "phase")?,
+                epoch: get_u64(v, "epoch")?,
+                recon_loss: get_f64(v, "recon_loss")?,
+                cluster_loss: get_f64(v, "cluster_loss")?,
+                triplet_loss: get_f64(v, "triplet_loss")?,
+                grad_norm: get_f64(v, "grad_norm")?,
+                lr: get_f64(v, "lr")?,
+                label_change: get_opt_f64(v, "label_change")?,
+                skipped_batches: get_u64(v, "skipped_batches")?,
+                rollbacks: get_u64(v, "rollbacks")?,
+            }),
+            "counter" => Ok(Event::Counter {
+                name: get_str(v, "name")?,
+                value: get_u64(v, "value")?,
+            }),
+            "histogram" => Ok(Event::Histogram {
+                name: get_str(v, "name")?,
+                count: get_u64(v, "count")?,
+                sum: get_f64(v, "sum")?,
+                min: get_f64(v, "min")?,
+                max: get_f64(v, "max")?,
+                buckets: Vec::<u64>::from_value(field(v, "buckets")?)?,
+            }),
+            "message" => Ok(Event::Message {
+                level: Level::parse(&get_str(v, "level")?)?,
+                text: get_str(v, "text")?,
+            }),
+            "run_end" => Ok(Event::RunEnd {
+                status: get_str(v, "status")?,
+                wall_ms: get_f64(v, "wall_ms")?,
+            }),
+            other => Err(Error::custom(format!("unknown event type `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: &Event) -> Event {
+        let json = serde_json::to_string(e).expect("serialize");
+        serde_json::from_str(&json).expect("deserialize")
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let events = vec![
+            Event::RunHeader {
+                schema: SCHEMA_VERSION,
+                ts_ms: 1_700_000_000_000,
+                name: "train".into(),
+                seed: 42,
+                git: "abc123-dirty".into(),
+                config: obj(vec![("k_clusters", Value::UInt(7))]),
+            },
+            Event::SpanOpen { id: 1, parent: None, name: "fit".into(), ts_ms: 5 },
+            Event::SpanOpen { id: 2, parent: Some(1), name: "pretrain".into(), ts_ms: 6 },
+            Event::SpanClose { id: 2, name: "pretrain".into(), wall_ms: 12.5 },
+            Event::Epoch {
+                phase: "selftrain".into(),
+                epoch: 3,
+                recon_loss: 1.25,
+                cluster_loss: 0.5,
+                triplet_loss: 0.125,
+                grad_norm: 4.0,
+                lr: 1e-4,
+                label_change: Some(0.03),
+                skipped_batches: 1,
+                rollbacks: 0,
+            },
+            Event::Counter { name: "nn.matmul_calls".into(), value: 999 },
+            Event::Histogram {
+                name: "batch_ms".into(),
+                count: 3,
+                sum: 7.5,
+                min: 1.5,
+                max: 4.0,
+                buckets: vec![0, 2, 1],
+            },
+            Event::Message { level: Level::Warn, text: "checkpoint write failed".into() },
+            Event::RunEnd { status: "ok".into(), wall_ms: 321.0 },
+        ];
+        for e in &events {
+            assert_eq!(&roundtrip(e), e, "round-trip changed {e:?}");
+        }
+    }
+
+    #[test]
+    fn type_field_leads_each_line() {
+        let json = serde_json::to_string(&Event::Counter { name: "c".into(), value: 1 })
+            .expect("serialize");
+        assert!(json.starts_with("{\"type\":\"counter\""), "got {json}");
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let err = serde_json::from_str::<Event>("{\"type\":\"mystery\"}");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let err = serde_json::from_str::<Event>("{\"type\":\"counter\",\"name\":\"c\"}");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_survive_as_nan() {
+        let e = Event::SpanClose { id: 1, name: "s".into(), wall_ms: f64::NAN };
+        let json = serde_json::to_string(&e).expect("serialize");
+        assert!(json.contains("null"), "non-finite must encode as null: {json}");
+        match serde_json::from_str::<Event>(&json).expect("deserialize") {
+            Event::SpanClose { wall_ms, .. } => assert!(wall_ms.is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_change_none_roundtrips() {
+        let e = Event::Epoch {
+            phase: "pretrain".into(),
+            epoch: 0,
+            recon_loss: 1.0,
+            cluster_loss: 0.0,
+            triplet_loss: 0.0,
+            grad_norm: 2.0,
+            lr: 1e-3,
+            label_change: None,
+            skipped_batches: 0,
+            rollbacks: 0,
+        };
+        assert_eq!(roundtrip(&e), e);
+    }
+}

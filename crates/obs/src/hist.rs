@@ -1,0 +1,245 @@
+//! Mergeable power-of-two histograms.
+//!
+//! Built for wall-time distributions (batch milliseconds, span
+//! durations): fixed log₂ buckets trade resolution for a merge that is a
+//! plain element-wise add, so per-thread or per-epoch histograms combine
+//! into run totals in any order without coordination.
+
+use crate::event::Event;
+
+/// Number of buckets. Bucket `i` counts samples in
+/// `[2^(i + MIN_EXP - 1), 2^(i + MIN_EXP))` except bucket 0, which also
+/// absorbs everything below its upper bound (including zero and
+/// negatives, which timing data should never produce anyway).
+pub const NUM_BUCKETS: usize = 64;
+
+/// Exponent of bucket 0's upper bound: samples below `2^MIN_EXP` = 2⁻²⁰
+/// (≈ 1 µs when samples are in milliseconds) land in bucket 0.
+pub const MIN_EXP: i32 = -20;
+
+/// A fixed-layout log₂ histogram with count/sum/min/max summary stats.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample.
+fn bucket_index(v: f64) -> usize {
+    if !(v.is_finite() && v > 0.0) {
+        return 0;
+    }
+    let exp = v.log2().floor() as i64;
+    (exp - i64::from(MIN_EXP) + 1).clamp(0, NUM_BUCKETS as i64 - 1) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Non-finite samples are counted in bucket 0 and
+    /// excluded from `sum`/`min`/`max` so one NaN cannot poison the
+    /// summary.
+    pub fn record(&mut self, v: f64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of finite recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest finite sample (0 when none).
+    pub fn min(&self) -> f64 {
+        if self.min.is_finite() {
+            self.min
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest finite sample (0 when none).
+    pub fn max(&self) -> f64 {
+        if self.max.is_finite() {
+            self.max
+        } else {
+            0.0
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Folds `other` into `self`. Bucket counts, `count`, `min`, and
+    /// `max` are exactly order-invariant; `sum` is order-invariant up to
+    /// floating-point rounding (pinned by the property tests).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot as a schema event. Trailing zero buckets are trimmed on
+    /// the wire; [`Histogram::from_event_parts`] pads them back.
+    pub fn snapshot(&self, name: &str) -> Event {
+        let last = self.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        Event::Histogram {
+            name: name.to_string(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            buckets: self.buckets[..last].to_vec(),
+        }
+    }
+
+    /// Rebuilds a histogram from the fields of an [`Event::Histogram`].
+    /// Returns `None` if the bucket list is longer than [`NUM_BUCKETS`]
+    /// or its total disagrees with `count`.
+    pub fn from_event_parts(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        wire_buckets: &[u64],
+    ) -> Option<Self> {
+        if wire_buckets.len() > NUM_BUCKETS || wire_buckets.iter().sum::<u64>() != count {
+            return None;
+        }
+        let mut buckets = [0u64; NUM_BUCKETS];
+        buckets[..wire_buckets.len()].copy_from_slice(wire_buckets);
+        Some(Self {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { f64::INFINITY } else { min },
+            max: if count == 0 { f64::NEG_INFINITY } else { max },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        // 1.0 = 2^0 lands in the bucket for [2^0, 2^1).
+        assert_eq!(bucket_index(1.0), (0 - MIN_EXP + 1) as usize);
+        assert_eq!(bucket_index(1.5), bucket_index(1.0));
+        assert_eq!(bucket_index(2.0), bucket_index(1.0) + 1);
+        // Huge values clamp to the last bucket instead of overflowing.
+        assert_eq!(bucket_index(1e300), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_updates_summary() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        h.record(2.0);
+        h.record(4.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 6.0);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn nan_does_not_poison_summary() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        // Dyadic samples so every partial sum is exact and the `PartialEq`
+        // comparison below can include `sum`.
+        let samples_a = [0.5, 3.0, 100.0];
+        let samples_b = [0.125, 7.0];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for &s in &samples_a {
+            a.record(s);
+            all.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+            all.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_event_parts() {
+        let mut h = Histogram::new();
+        for &s in &[0.25, 1.0, 1.0, 9.0] {
+            h.record(s);
+        }
+        let Event::Histogram { count, sum, min, max, buckets, .. } = h.snapshot("t") else {
+            panic!("wrong event type");
+        };
+        let back = Histogram::from_event_parts(count, sum, min, max, &buckets)
+            .expect("valid parts");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn from_event_parts_rejects_inconsistent_count() {
+        assert!(Histogram::from_event_parts(3, 1.0, 1.0, 1.0, &[1, 1]).is_none());
+        assert!(Histogram::from_event_parts(0, 0.0, 0.0, 0.0, &[]).is_some());
+    }
+}

@@ -1,0 +1,332 @@
+//! Parsing and validation of finished JSONL run logs.
+//!
+//! [`parse_jsonl`] is the read side of the contract [`crate::JsonlSink`]
+//! writes: every line must deserialize into a known [`Event`], and the
+//! event stream as a whole must be well-formed:
+//!
+//! 1. the first event is a `run_header` with a known schema version;
+//! 2. span ids are unique, every `span_close` matches the innermost open
+//!    span (LIFO), and `span_open.parent` names the span that was
+//!    innermost at open time;
+//! 3. successive `counter` snapshots of the same name never decrease;
+//! 4. `histogram` events are internally consistent (bucket totals match
+//!    `count`);
+//! 5. a `run_end`, when present, is the last event.
+//!
+//! Unclosed spans are *not* an error: a crashed run's log is truncated
+//! mid-stream and must still parse (that is half the point of writing
+//! JSONL instead of one big document). [`Validated::complete`] reports
+//! whether the log ends with a clean `run_end`.
+
+use crate::event::{Event, SCHEMA_VERSION};
+use crate::hist::Histogram;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A structurally-valid run log.
+#[derive(Clone, Debug)]
+pub struct Validated {
+    /// Every event, in file order (the run header is `events[0]`).
+    pub events: Vec<Event>,
+    /// True when the log ends with a `run_end` and no span is left open.
+    pub complete: bool,
+}
+
+impl Validated {
+    /// The run header fields (guaranteed present by validation).
+    pub fn header(&self) -> &Event {
+        &self.events[0]
+    }
+
+    /// All epoch events, in order.
+    pub fn epochs(&self) -> Vec<&Event> {
+        self.events.iter().filter(|e| matches!(e, Event::Epoch { .. })).collect()
+    }
+
+    /// Final snapshot value of a counter, if one was emitted.
+    pub fn final_counter(&self, name: &str) -> Option<u64> {
+        self.events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::Counter { name: n, value } if n == name => Some(*value),
+                _ => None,
+            })
+    }
+
+    /// Total wall time of every closed span with the given name, ms.
+    pub fn span_total_ms(&self, name: &str) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanClose { name: n, wall_ms, .. } if n == name => Some(*wall_ms),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Why a log failed to parse or validate. Carries the 1-based line number
+/// (0 for stream-level failures).
+#[derive(Clone, Debug)]
+pub struct SchemaError {
+    /// 1-based JSONL line the failure anchors to (0 = whole stream).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "run log invalid: {}", self.message)
+        } else {
+            write!(f, "run log line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn err(line: usize, message: impl Into<String>) -> SchemaError {
+    SchemaError { line, message: message.into() }
+}
+
+/// Parses a whole JSONL document and validates the event stream.
+pub fn parse_jsonl(text: &str) -> Result<Validated, SchemaError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Event = serde_json::from_str(line)
+            .map_err(|e| err(i + 1, format!("unparseable event: {e}")))?;
+        events.push((i + 1, event));
+    }
+    validate(events)
+}
+
+/// Validates an already-parsed event stream (line numbers for messages).
+fn validate(numbered: Vec<(usize, Event)>) -> Result<Validated, SchemaError> {
+    if numbered.is_empty() {
+        return Err(err(0, "empty log (expected at least a run_header)"));
+    }
+    match &numbered[0].1 {
+        Event::RunHeader { schema, .. } if *schema == SCHEMA_VERSION => {}
+        Event::RunHeader { schema, .. } => {
+            return Err(err(
+                numbered[0].0,
+                format!("unsupported schema version {schema} (expected {SCHEMA_VERSION})"),
+            ));
+        }
+        other => {
+            return Err(err(
+                numbered[0].0,
+                format!("log must start with run_header, found {}", other.type_name()),
+            ));
+        }
+    }
+
+    let mut open_spans: Vec<u64> = Vec::new();
+    let mut seen_span_ids: HashMap<u64, usize> = HashMap::new();
+    let mut counter_last: HashMap<String, u64> = HashMap::new();
+    let mut ended = false;
+
+    for (line, event) in numbered.iter().skip(1) {
+        if ended {
+            return Err(err(*line, "event after run_end"));
+        }
+        match event {
+            Event::RunHeader { .. } => {
+                return Err(err(*line, "duplicate run_header"));
+            }
+            Event::SpanOpen { id, parent, .. } => {
+                if let Some(prev) = seen_span_ids.insert(*id, *line) {
+                    return Err(err(
+                        *line,
+                        format!("span id {id} reused (first opened on line {prev})"),
+                    ));
+                }
+                if *parent != open_spans.last().copied() {
+                    return Err(err(
+                        *line,
+                        format!(
+                            "span {id} claims parent {parent:?} but innermost open span is {:?}",
+                            open_spans.last()
+                        ),
+                    ));
+                }
+                open_spans.push(*id);
+            }
+            Event::SpanClose { id, .. } => match open_spans.last() {
+                Some(&top) if top == *id => {
+                    open_spans.pop();
+                }
+                Some(&top) => {
+                    return Err(err(
+                        *line,
+                        format!("span {id} closed out of order (innermost open is {top})"),
+                    ));
+                }
+                None => {
+                    return Err(err(*line, format!("span {id} closed but no span is open")));
+                }
+            },
+            Event::Counter { name, value } => {
+                if let Some(&prev) = counter_last.get(name) {
+                    if *value < prev {
+                        return Err(err(
+                            *line,
+                            format!("counter `{name}` went backwards ({prev} -> {value})"),
+                        ));
+                    }
+                }
+                counter_last.insert(name.clone(), *value);
+            }
+            Event::Histogram { name, count, sum, min, max, buckets } => {
+                if Histogram::from_event_parts(*count, *sum, *min, *max, buckets).is_none() {
+                    return Err(err(
+                        *line,
+                        format!("histogram `{name}` is inconsistent (buckets vs count)"),
+                    ));
+                }
+            }
+            Event::RunEnd { .. } => {
+                ended = true;
+            }
+            Event::Epoch { .. } | Event::Message { .. } => {}
+        }
+    }
+
+    Ok(Validated {
+        complete: ended && open_spans.is_empty(),
+        events: numbered.into_iter().map(|(_, e)| e).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+    use serde_json::to_string;
+
+    fn header() -> String {
+        to_string(&Event::RunHeader {
+            schema: SCHEMA_VERSION,
+            ts_ms: 1,
+            name: "t".into(),
+            seed: 0,
+            git: "g".into(),
+            config: Value::Object(vec![]),
+        })
+        .expect("serialize")
+    }
+
+    fn lines(events: &[Event]) -> String {
+        let mut out = header();
+        for e in events {
+            out.push('\n');
+            out.push_str(&to_string(e).expect("serialize"));
+        }
+        out
+    }
+
+    #[test]
+    fn minimal_complete_log_validates() {
+        let log = lines(&[
+            Event::SpanOpen { id: 1, parent: None, name: "fit".into(), ts_ms: 2 },
+            Event::SpanClose { id: 1, name: "fit".into(), wall_ms: 1.0 },
+            Event::RunEnd { status: "ok".into(), wall_ms: 2.0 },
+        ]);
+        let v = parse_jsonl(&log).expect("valid");
+        assert!(v.complete);
+        assert_eq!(v.events.len(), 4);
+        assert_eq!(v.span_total_ms("fit"), 1.0);
+    }
+
+    #[test]
+    fn truncated_log_is_valid_but_incomplete() {
+        let log = lines(&[Event::SpanOpen { id: 1, parent: None, name: "fit".into(), ts_ms: 2 }]);
+        let v = parse_jsonl(&log).expect("truncated logs still parse");
+        assert!(!v.complete);
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let log = to_string(&Event::RunEnd { status: "ok".into(), wall_ms: 0.0 }).unwrap();
+        let e = parse_jsonl(&log).expect_err("must fail");
+        assert!(e.to_string().contains("run_header"), "{e}");
+    }
+
+    #[test]
+    fn out_of_order_close_is_rejected() {
+        let log = lines(&[
+            Event::SpanOpen { id: 1, parent: None, name: "a".into(), ts_ms: 0 },
+            Event::SpanOpen { id: 2, parent: Some(1), name: "b".into(), ts_ms: 0 },
+            Event::SpanClose { id: 1, name: "a".into(), wall_ms: 0.0 },
+        ]);
+        let e = parse_jsonl(&log).expect_err("must fail");
+        assert!(e.to_string().contains("out of order"), "{e}");
+    }
+
+    #[test]
+    fn wrong_parent_is_rejected() {
+        let log = lines(&[
+            Event::SpanOpen { id: 1, parent: None, name: "a".into(), ts_ms: 0 },
+            Event::SpanOpen { id: 2, parent: None, name: "b".into(), ts_ms: 0 },
+        ]);
+        let e = parse_jsonl(&log).expect_err("must fail");
+        assert!(e.to_string().contains("parent"), "{e}");
+    }
+
+    #[test]
+    fn backwards_counter_is_rejected() {
+        let log = lines(&[
+            Event::Counter { name: "c".into(), value: 5 },
+            Event::Counter { name: "c".into(), value: 4 },
+        ]);
+        let e = parse_jsonl(&log).expect_err("must fail");
+        assert!(e.to_string().contains("backwards"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unparseable_line_reports_line_number() {
+        let log = format!("{}\nnot json", header());
+        let e = parse_jsonl(&log).expect_err("must fail");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn events_after_run_end_are_rejected() {
+        let log = lines(&[
+            Event::RunEnd { status: "ok".into(), wall_ms: 0.0 },
+            Event::Counter { name: "c".into(), value: 1 },
+        ]);
+        assert!(parse_jsonl(&log).is_err());
+    }
+
+    #[test]
+    fn helpers_extract_epochs_and_counters() {
+        let log = lines(&[
+            Event::Epoch {
+                phase: "pretrain".into(),
+                epoch: 0,
+                recon_loss: 1.0,
+                cluster_loss: 0.0,
+                triplet_loss: 0.0,
+                grad_norm: 1.0,
+                lr: 1e-3,
+                label_change: None,
+                skipped_batches: 0,
+                rollbacks: 0,
+            },
+            Event::Counter { name: "c".into(), value: 1 },
+            Event::Counter { name: "c".into(), value: 9 },
+        ]);
+        let v = parse_jsonl(&log).expect("valid");
+        assert_eq!(v.epochs().len(), 1);
+        assert_eq!(v.final_counter("c"), Some(9));
+        assert_eq!(v.final_counter("missing"), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! Pluggable telemetry sinks.
+
+use crate::event::{Event, Level};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Receives telemetry events. Implementations must be thread-safe: a
+/// single sink may be shared by every component of a run.
+pub trait Sink: Send + Sync {
+    /// False when events would be discarded — instrumentation checks this
+    /// first and skips timestamping/allocation entirely, which is what
+    /// keeps the no-op configuration off the hot path.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output (a no-op for unbuffered sinks).
+    fn flush(&self) {}
+}
+
+/// Discards everything; the default sink. [`Sink::enabled`] returns
+/// false so instrumented code pays one branch and nothing else.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Human-readable one-line-per-event rendering on stderr, for watching a
+/// run interactively without committing to a log file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        match event {
+            Event::RunHeader { name, seed, git, .. } => {
+                eprintln!("[obs] run {name} seed={seed} git={git}");
+            }
+            Event::SpanOpen { name, .. } => eprintln!("[obs] > {name}"),
+            Event::SpanClose { name, wall_ms, .. } => {
+                eprintln!("[obs] < {name} {wall_ms:.1} ms");
+            }
+            Event::Epoch {
+                phase,
+                epoch,
+                recon_loss,
+                cluster_loss,
+                triplet_loss,
+                grad_norm,
+                lr,
+                label_change,
+                skipped_batches,
+                rollbacks,
+            } => {
+                let churn = label_change
+                    .map(|c| format!(" churn={c:.4}"))
+                    .unwrap_or_default();
+                let faults = if *skipped_batches > 0 || *rollbacks > 0 {
+                    format!(" skipped={skipped_batches} rollbacks={rollbacks}")
+                } else {
+                    String::new()
+                };
+                eprintln!(
+                    "[obs] {phase} epoch {epoch}: L_r={recon_loss:.4} \
+                     L_c={cluster_loss:.4} L_t={triplet_loss:.4} \
+                     |g|={grad_norm:.3} lr={lr:.2e}{churn}{faults}"
+                );
+            }
+            Event::Counter { name, value } => eprintln!("[obs] {name} = {value}"),
+            Event::Histogram { name, count, sum, min, max, .. } => {
+                let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                eprintln!(
+                    "[obs] {name}: n={count} mean={mean:.3} min={min:.3} max={max:.3}"
+                );
+            }
+            Event::Message { level, text } => match level {
+                Level::Info => eprintln!("[obs] {text}"),
+                Level::Warn => eprintln!("[obs] warning: {text}"),
+            },
+            Event::RunEnd { status, wall_ms } => {
+                eprintln!("[obs] run end: {status} ({:.1} s)", wall_ms / 1e3);
+            }
+        }
+    }
+}
+
+/// Appends one JSON object per event to a file — the machine-readable run
+/// log (`--log-json`). Lines follow the [`crate::event`] schema and a
+/// finished file parses with [`crate::schema::parse_jsonl`].
+///
+/// Writes are buffered and serialized behind a mutex; a serialization or
+/// IO failure downgrades to a stderr warning rather than killing the run
+/// being observed.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = match serde_json::to_string(event) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("traj-obs: dropping unserializable event: {e}");
+                return;
+            }
+        };
+        let mut w = self.writer.lock().expect("jsonl sink lock poisoned");
+        if let Err(e) = w.write_all(line.as_bytes()).and_then(|()| w.write_all(b"\n")) {
+            eprintln!("traj-obs: run-log write failed: {e}");
+        }
+    }
+
+    fn flush(&self) {
+        let mut w = self.writer.lock().expect("jsonl sink lock poisoned");
+        if let Err(e) = w.flush() {
+            eprintln!("traj-obs: run-log flush failed: {e}");
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Collects events in memory; the assertion surface for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything emitted so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink lock poisoned").clone()
+    }
+
+    /// Removes and returns everything emitted so far.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink lock poisoned"))
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("memory sink lock poisoned").push(event.clone());
+    }
+}
+
+/// Fans events out to several sinks (e.g. stderr + JSONL).
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// Combines `sinks`; enabled iff any child is.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            if s.enabled() {
+                s.emit(event);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopSink.enabled());
+        NoopSink.emit(&Event::Counter { name: "x".into(), value: 1 }); // must not panic
+    }
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let sink = MemorySink::new();
+        for v in 0..3 {
+            sink.emit(&Event::Counter { name: "c".into(), value: v });
+        }
+        let events = sink.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2], Event::Counter { name: "c".into(), value: 2 });
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("traj_obs_sink_test.jsonl");
+        {
+            let sink = JsonlSink::create(&path).expect("create");
+            sink.emit(&Event::Counter { name: "a".into(), value: 1 });
+            sink.emit(&Event::Counter { name: "a".into(), value: 2 });
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let _: Event = serde_json::from_str(line).expect("line parses");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tee_fans_out_to_enabled_children_only() {
+        let mem = std::sync::Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![std::sync::Arc::new(NoopSink), mem.clone()]);
+        assert!(tee.enabled());
+        tee.emit(&Event::Counter { name: "x".into(), value: 7 });
+        assert_eq!(mem.events().len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based invariants of the telemetry primitives: histogram
+//! merging is order-invariant, counters are monotone, arbitrarily nested
+//! spans close LIFO, and anything the JSONL sink writes round-trips
+//! through the schema parser.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use traj_obs::event::SCHEMA_VERSION;
+use traj_obs::schema::parse_jsonl;
+use traj_obs::{Counter, Event, Histogram, JsonlSink, MemorySink, Recorder};
+
+/// A fresh temp-file path per proptest case (cases run concurrently
+/// across test binaries, so the name carries pid + a process counter).
+fn temp_log_path() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("traj_obs_prop_{}_{n}.jsonl", std::process::id()))
+}
+
+fn header() -> Event {
+    Event::RunHeader {
+        schema: SCHEMA_VERSION,
+        ts_ms: 0,
+        name: "prop".into(),
+        seed: 7,
+        git: "test".into(),
+        config: serde::Value::Object(vec![]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a sample stream at any point and merging the two halves
+    /// gives the same histogram as recording everything into one —
+    /// exactly for buckets/count/min/max, up to rounding for the sum.
+    #[test]
+    fn histogram_merge_is_order_invariant(
+        samples in prop::collection::vec(0.0f64..1e9, 0..40),
+        split in 0usize..41,
+    ) {
+        let split = split.min(samples.len());
+        let (first, second) = samples.split_at(split);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for &s in first {
+            a.record(s);
+            all.record(s);
+        }
+        for &s in second {
+            b.record(s);
+            all.record(s);
+        }
+        // Merge in both orders: a+b and b+a must agree with each other
+        // and with the single-stream histogram.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.buckets(), all.buckets());
+        prop_assert_eq!(ba.buckets(), all.buckets());
+        prop_assert_eq!(ab.count(), all.count());
+        prop_assert_eq!(ab.min(), all.min());
+        prop_assert_eq!(ab.max(), all.max());
+        let tol = 1e-9 * (1.0 + all.sum().abs());
+        prop_assert!((ab.sum() - all.sum()).abs() <= tol);
+        prop_assert!((ab.sum() - ba.sum()).abs() <= tol);
+    }
+
+    /// A counter only ever moves forward, and its final value is the sum
+    /// of every increment applied to it.
+    #[test]
+    fn counters_are_monotone(increments in prop::collection::vec(0u64..1000, 0..50)) {
+        static C: Counter = Counter::new("prop.monotone");
+        // The static is shared across proptest cases, so assert on deltas
+        // rather than absolute values.
+        let start = C.get();
+        let mut last = start;
+        for &inc in &increments {
+            C.add(inc);
+            let now = C.get();
+            prop_assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+        prop_assert_eq!(last - start, increments.iter().sum::<u64>());
+    }
+
+    /// Arbitrary push/pop span sequences produce an event stream the
+    /// schema validator accepts: parents correct, closes LIFO.
+    #[test]
+    fn nested_spans_always_close_lifo(ops in prop::collection::vec(0usize..2, 0..60)) {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        let mut stack = Vec::new();
+        for (i, &op) in ops.iter().enumerate() {
+            let push = op == 1;
+            if push {
+                stack.push(rec.span(&format!("s{i}")));
+            } else {
+                stack.pop(); // dropping the guard closes the span
+            }
+        }
+        while stack.pop().is_some() {}
+
+        // Serialize the captured stream behind a header and let the
+        // validator re-check parent/LIFO structure from the wire form.
+        let mut log = serde_json::to_string(&header()).expect("serialize");
+        for e in sink.events() {
+            log.push('\n');
+            log.push_str(&serde_json::to_string(&e).expect("serialize"));
+        }
+        let v = parse_jsonl(&log).expect("span stream must validate");
+        prop_assert_eq!(v.events.len(), 1 + sink.events().len());
+    }
+
+    /// Whatever mix of events a recorder emits, the JSONL file the sink
+    /// writes parses back into the identical event sequence.
+    #[test]
+    fn jsonl_sink_roundtrips_through_schema_parser(
+        choices in prop::collection::vec((0usize..4, 0.0f64..100.0), 0..30),
+    ) {
+        let path = temp_log_path();
+        let sink = Arc::new(JsonlSink::create(&path).expect("create log"));
+        let rec = Recorder::new(sink);
+        rec.emit(&header());
+        let mut counter_total = 0u64;
+        for (i, &(kind, x)) in choices.iter().enumerate() {
+            match kind {
+                0 => rec.emit(&Event::Epoch {
+                    phase: "pretrain".into(),
+                    epoch: i as u64,
+                    recon_loss: x,
+                    cluster_loss: x / 2.0,
+                    triplet_loss: 0.0,
+                    grad_norm: x / 3.0,
+                    lr: 1e-3,
+                    label_change: if i % 2 == 0 { Some(x / 100.0) } else { None },
+                    skipped_batches: i as u64,
+                    rollbacks: 0,
+                }),
+                1 => {
+                    counter_total += x as u64;
+                    rec.emit(&Event::Counter {
+                        name: "prop.c".into(),
+                        value: counter_total,
+                    });
+                }
+                2 => {
+                    let mut h = Histogram::new();
+                    h.record(x);
+                    h.record(x + 1.0);
+                    rec.histogram("prop.h", &h);
+                }
+                _ => rec.info(format!("message {i}")),
+            }
+        }
+        rec.emit(&Event::RunEnd { status: "ok".into(), wall_ms: 1.0 });
+        rec.flush();
+
+        let text = std::fs::read_to_string(&path).expect("read log back");
+        std::fs::remove_file(&path).ok();
+        let v = parse_jsonl(&text).expect("sink output must validate");
+        prop_assert!(v.complete);
+        // header + chosen events + run_end, byte-for-byte round-tripped.
+        prop_assert_eq!(v.events.len(), choices.len() + 2);
+        prop_assert_eq!(&v.events[0], &header());
+    }
+}
+
+/// Non-finite floats cross the wire as `null` and come back as NaN — a
+/// deterministic edge the random generators above never hit.
+#[test]
+fn nan_loss_survives_the_wire_as_nan() {
+    let e = Event::Epoch {
+        phase: "selftrain".into(),
+        epoch: 3,
+        recon_loss: f64::NAN,
+        cluster_loss: f64::INFINITY,
+        triplet_loss: 1.0,
+        grad_norm: f64::NAN,
+        lr: 1e-4,
+        label_change: None,
+        skipped_batches: 9,
+        rollbacks: 1,
+    };
+    let line = serde_json::to_string(&e).expect("serialize");
+    assert!(line.contains("null"), "non-finite floats must encode as null: {line}");
+    let back: Event = serde_json::from_str(&line).expect("parse");
+    let Event::Epoch { recon_loss, cluster_loss, grad_norm, triplet_loss, .. } = back else {
+        panic!("wrong variant");
+    };
+    assert!(recon_loss.is_nan());
+    assert!(cluster_loss.is_nan(), "infinity also encodes as null, reads back NaN");
+    assert!(grad_norm.is_nan());
+    assert_eq!(triplet_loss, 1.0);
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification (see ROADMAP.md) plus a bench smoke-run.
 #
-#   build  — release build of the whole workspace
+#   build  — release build of the whole workspace, plus the examples
 #   lint   — clippy over the whole workspace with warnings promoted to errors
-#   test   — full test suite (unit + integration + proptests + gradchecks)
+#   test   — full test suite (unit + integration + proptests + gradchecks +
+#            telemetry no-op-overhead guard + golden-run regression)
 #   fault  — fault-injection integration tests (NaN poisoning, torn/killed
 #            checkpoint saves) behind the e2dtc `fault-injection` feature
 #   bench  — bench_nn in --test mode: every benchmark body runs once so the
@@ -13,6 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo build --examples
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 cargo test -q -p e2dtc --features fault-injection --test fault_injection
