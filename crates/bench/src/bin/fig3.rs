@@ -9,12 +9,16 @@
 //! classics grow sharply (O(n²) matrices), deep methods grow mildly and
 //! are orders of magnitude faster at scale.
 //!
-//! Usage: `fig3 [--scale paper] [--seed <s>]`
+//! Usage: `fig3 [--scale paper] [--seed <s>] [--dtw-band <w>]`
+//!
+//! `--dtw-band <w>` swaps the DTW baseline for Sakoe-Chiba banded DTW
+//! (width `w`) — the opt-in approximation that keeps the O(n²) sweep
+//! tractable at paper scale.
 
 use e2dtc::{E2dtc, E2dtcConfig, LossMode};
 use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
 use e2dtc_bench::methods::time_inference;
-use e2dtc_bench::report::{dump_json, dump_text, fmt_secs, parse_args, Table};
+use e2dtc_bench::report::{arg_value, dump_json, dump_text, fmt_secs, parse_args, Table};
 use serde::Serialize;
 use std::time::Instant;
 use traj_cluster::{kmedoids_alternating, KMedoidsConfig};
@@ -30,6 +34,10 @@ struct Point {
 
 fn main() {
     let (paper, _, seed) = parse_args();
+    let dtw_metric = match arg_value::<usize>("dtw-band") {
+        Some(band) => Metric::DtwBanded { band },
+        None => Metric::Dtw,
+    };
     let sizes: Vec<usize> =
         if paper { vec![10_000, 20_000, 40_000, 80_000] } else { vec![100, 200, 400, 800] };
     let train_n = *sizes.first().expect("non-empty sweep");
@@ -62,7 +70,7 @@ fn main() {
             let data = labelled_dataset(kind, n, seed ^ 0x5157);
             eprintln!("[fig3] {} n = {}", kind.name(), data.len());
 
-            for metric in [Metric::Dtw, Metric::Hausdorff] {
+            for metric in [dtw_metric, Metric::Hausdorff] {
                 let start = Instant::now();
                 let matrix = DistanceMatrix::compute(&data.dataset.trajectories, &metric);
                 let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);

@@ -49,13 +49,14 @@ pub fn kmedoids(dist: &[f64], n: usize, cfg: KMedoidsConfig) -> KMedoidsResult {
 
     // BUILD: greedily add the medoid that most reduces total cost.
     let mut medoids: Vec<usize> = Vec::with_capacity(k);
-    // First medoid: the most central point.
+    // First medoid: the most central point. The O(n²) row-sum scan runs
+    // in parallel; ties break toward the lower index, matching the
+    // serial scan this replaces.
     let first = (0..n)
-        .min_by(|&a, &b| {
-            let sa: f64 = (0..n).map(|j| d(a, j)).sum();
-            let sb: f64 = (0..n).map(|j| d(b, j)).sum();
-            sa.total_cmp(&sb)
-        })
+        .into_par_iter()
+        .map(|a| ((0..n).map(|j| d(a, j)).sum::<f64>(), a))
+        .min_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)))
+        .map(|(_, a)| a)
         .expect("n >= 1");
     medoids.push(first);
     let mut nearest: Vec<f64> = (0..n).map(|i| d(i, first)).collect();

@@ -24,6 +24,7 @@ pub mod ground_truth;
 pub mod io;
 pub mod point;
 pub mod preprocess;
+pub mod projection;
 pub mod stats;
 pub mod synth;
 pub mod trajectory;
@@ -31,5 +32,6 @@ pub mod trajectory;
 pub use grid::Grid;
 pub use ground_truth::{generate_ground_truth, GroundTruthConfig};
 pub use point::GpsPoint;
+pub use projection::Projector;
 pub use synth::{GeneratedCity, SynthSpec};
 pub use trajectory::{Dataset, LabeledDataset, Trajectory};

@@ -4,7 +4,57 @@
 //! EDR counts the minimum number of insert/delete/substitute edits needed
 //! to align the sequences under that predicate.
 
+use crate::project::ProjectedTraj;
 use traj_data::Trajectory;
+
+/// Raw EDR edit count over pre-projected buffers. The match predicate
+/// compares squared distance against `eps_m²`, so the inner loop has no
+/// trig *and* no square root — [`edr`] stays as the lat/lon oracle.
+pub fn edr_projected(a: &ProjectedTraj, b: &ProjectedTraj, eps_m: f64) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m as f64;
+    }
+    if m == 0 {
+        return n as f64;
+    }
+    let eps2 = eps_m * eps_m;
+    let (bx, by) = (b.xs(), b.ys());
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64).collect();
+    let mut curr = vec![0.0f64; m + 1];
+    for i in 1..=n {
+        let (ax, ay) = (a.xs()[i - 1], a.ys()[i - 1]);
+        // Register-carried curr[j-1]/prev[j-1] with zipped slices — same
+        // scheme as `dtw_projected` — keeps the inner loop free of bounds
+        // checks and leaves only one op on the loop-carried chain.
+        let mut left = i as f64;
+        let mut diag = prev[0];
+        curr[0] = left;
+        for ((out, (&bxj, &byj)), &up) in
+            curr[1..].iter_mut().zip(bx.iter().zip(by)).zip(&prev[1..])
+        {
+            let dx = ax - bxj;
+            let dy = ay - byj;
+            let subcost = if dx.mul_add(dx, dy * dy) <= eps2 { 0.0 } else { 1.0 };
+            let v = (diag + subcost).min(up + 1.0).min(left + 1.0);
+            *out = v;
+            diag = up;
+            left = v;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Projected EDR normalized to `[0, 1]` by the longer sequence length.
+pub fn edr_projected_normalized(a: &ProjectedTraj, b: &ProjectedTraj, eps_m: f64) -> f64 {
+    let denom = a.len().max(b.len());
+    if denom == 0 {
+        0.0
+    } else {
+        edr_projected(a, b, eps_m) / denom as f64
+    }
+}
 
 /// Raw EDR edit count between two trajectories under match threshold
 /// `eps_m` meters.

@@ -6,7 +6,52 @@
 //! index-accelerated clustering. Included as an extension baseline beyond
 //! the paper's four metrics.
 
+use crate::project::ProjectedTraj;
 use traj_data::{GpsPoint, Trajectory};
+
+/// ERP over pre-projected buffers with gap-reference `(gx, gy)` in
+/// projected meters. Gap distances are precomputed per point; the DP
+/// inner loop is trig-free. [`erp`] stays as the lat/lon oracle.
+pub fn erp_projected_ref(a: &ProjectedTraj, b: &ProjectedTraj, gx: f64, gy: f64) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let gap_a: Vec<f64> = (0..n).map(|i| a.d2_to(i, gx, gy).sqrt()).collect();
+    let gap_b: Vec<f64> = (0..m).map(|j| b.d2_to(j, gx, gy).sqrt()).collect();
+    let (bx, by) = (b.xs(), b.ys());
+
+    // prev[j] = D(i-1, j); initialize row 0 with cumulative gap costs of b.
+    let mut prev = vec![0.0f64; m + 1];
+    for j in 1..=m {
+        prev[j] = prev[j - 1] + gap_b[j - 1];
+    }
+    let mut curr = vec![0.0f64; m + 1];
+    for i in 1..=n {
+        curr[0] = prev[0] + gap_a[i - 1];
+        let (ax, ay) = (a.xs()[i - 1], a.ys()[i - 1]);
+        for j in 1..=m {
+            let dx = ax - bx[j - 1];
+            let dy = ay - by[j - 1];
+            let match_cost = prev[j - 1] + dx.mul_add(dx, dy * dy).sqrt();
+            let gap_in_b = prev[j] + gap_a[i - 1];
+            let gap_in_a = curr[j - 1] + gap_b[j - 1];
+            curr[j] = match_cost.min(gap_in_b).min(gap_in_a);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Projected counterpart of [`erp_origin`]: the gap reference is the
+/// mean of both trajectories' projected points, which — the projection
+/// being linear in lat/lon — is the projection of the mean point that
+/// `erp_origin` uses.
+pub fn erp_projected(a: &ProjectedTraj, b: &ProjectedTraj) -> f64 {
+    let total = (a.len() + b.len()).max(1) as f64;
+    let sum_x: f64 =
+        a.xs().iter().sum::<f64>() + b.xs().iter().sum::<f64>();
+    let sum_y: f64 =
+        a.ys().iter().sum::<f64>() + b.ys().iter().sum::<f64>();
+    erp_projected_ref(a, b, sum_x / total, sum_y / total)
+}
 
 /// ERP distance in meters with gap-reference point `g`.
 ///

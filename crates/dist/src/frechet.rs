@@ -5,7 +5,44 @@
 //! of sum-aggregated — a useful extension baseline between DTW and
 //! Hausdorff.
 
+use crate::project::ProjectedTraj;
 use traj_data::Trajectory;
+
+/// Discrete Fréchet over pre-projected buffers. Because the recurrence
+/// only takes max/min — both monotone under squaring — the whole DP runs
+/// in squared meters with a single square root at the end: no per-cell
+/// trig or `sqrt`. [`frechet`] stays as the lat/lon oracle.
+pub fn frechet_projected(a: &ProjectedTraj, b: &ProjectedTraj) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    match (n, m) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return f64::INFINITY,
+        _ => {}
+    }
+    let (bx, by) = (b.xs(), b.ys());
+    let mut prev = vec![f64::INFINITY; m];
+    let mut curr = vec![f64::INFINITY; m];
+    for i in 0..n {
+        let (ax, ay) = (a.xs()[i], a.ys()[i]);
+        for j in 0..m {
+            let dx = ax - bx[j];
+            let dy = ay - by[j];
+            let d2 = dx.mul_add(dx, dy * dy);
+            let best_prefix = if i == 0 && j == 0 {
+                0.0
+            } else if i == 0 {
+                curr[j - 1]
+            } else if j == 0 {
+                prev[j]
+            } else {
+                prev[j].min(curr[j - 1]).min(prev[j - 1])
+            };
+            curr[j] = d2.max(best_prefix);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m - 1].sqrt()
+}
 
 /// Discrete Fréchet distance in meters.
 ///

@@ -4,7 +4,47 @@
 //! point sets, ignoring temporal order — the classic shape comparator used
 //! by the paper's `Hausdorff + KM` baseline.
 
+use crate::project::ProjectedTraj;
 use traj_data::Trajectory;
+
+/// Directed Hausdorff over pre-projected buffers, computed entirely in
+/// squared meters (max/min are monotone under squaring) with the same
+/// early-exit as the reference — one square root at the very end, in
+/// [`hausdorff_projected`].
+pub fn directed_hausdorff_projected_sq(a: &ProjectedTraj, b: &ProjectedTraj) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f64::INFINITY;
+    }
+    let (bx, by) = (b.xs(), b.ys());
+    let mut worst = 0.0f64;
+    for i in 0..a.len() {
+        let (ax, ay) = (a.xs()[i], a.ys()[i]);
+        let mut best = f64::INFINITY;
+        for j in 0..bx.len() {
+            let dx = ax - bx[j];
+            let dy = ay - by[j];
+            let d2 = dx.mul_add(dx, dy * dy);
+            if d2 < best {
+                best = d2;
+                if best <= worst {
+                    // Early exit: this point can no longer raise the max.
+                    break;
+                }
+            }
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+/// Symmetric Hausdorff distance in meters over pre-projected buffers.
+/// [`hausdorff`] stays as the lat/lon oracle.
+pub fn hausdorff_projected(a: &ProjectedTraj, b: &ProjectedTraj) -> f64 {
+    directed_hausdorff_projected_sq(a, b).max(directed_hausdorff_projected_sq(b, a)).sqrt()
+}
 
 /// Directed Hausdorff `max_{a∈A} min_{b∈B} d(a, b)` in meters.
 pub fn directed_hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {

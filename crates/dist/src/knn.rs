@@ -1,0 +1,393 @@
+//! k-nearest-trajectory and radius queries under (banded) DTW — without
+//! materializing the full O(n²) distance matrix.
+//!
+//! This is the serving-shaped query path: a [`KnnIndex`] projects its
+//! corpus once, and each query runs a pruning cascade per candidate,
+//! cheapest bound first:
+//!
+//! 1. **O(1) bounds** — the bounding-envelope gap times the alignment
+//!    path length, and LB_Kim-style endpoint distances (the first and
+//!    last points of both trajectories are always aligned).
+//! 2. **O(L) envelope-sum bound** (LB_Keogh-style) — every point of one
+//!    trajectory must align to *some* point of the other, so the summed
+//!    distances to the other's bounding envelope lower-bound DTW.
+//! 3. **Early-abandoning DTW** ([`crate::dtw::dtw_projected_pruned`]) —
+//!    the exact kernel, aborted as soon as a DP row proves the pair
+//!    cannot beat the current k-th best.
+//!
+//! Every bound is a true lower bound of (banded) DTW, and eliminations
+//! use strict comparisons against the current k-th best, so the cascade
+//! returns **exactly** the brute-force result (ties broken by index; the
+//! property tests in `tests/projected_tests.rs` pin this). Pruning
+//! effectiveness is observable via the `dist.lb_hits` /
+//! `dist.pairs_pruned` counters.
+
+use crate::dtw;
+use crate::project::ProjectedTraj;
+use crate::telemetry::{DIST_LB_HITS, DIST_PAIRS, DIST_PAIRS_PRUNED};
+use std::collections::BinaryHeap;
+use traj_data::{Projector, Trajectory};
+
+/// One query result: a corpus index and its (banded) DTW distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index into the queried corpus.
+    pub index: usize,
+    /// DTW distance in meters.
+    pub distance: f64,
+}
+
+/// Max-heap entry ordered lexicographically by `(distance, index)`, so
+/// the heap root is the *worst* kept neighbor under the same total order
+/// brute force sorts by.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    distance: f64,
+    index: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.distance.total_cmp(&other.distance).then(self.index.cmp(&other.index))
+    }
+}
+
+/// O(1) lower bound on (banded) DTW: the larger of
+/// `envelope gap × max(|A|, |B|)` (every alignment path has at least
+/// `max(|A|, |B|)` steps, each costing at least the box gap) and the
+/// LB_Kim endpoint bound (the `(1, 1)` and `(|A|, |B|)` cells lie on
+/// every path; when they are distinct cells their costs add).
+fn lb_cheap(a: &ProjectedTraj, b: &ProjectedTraj) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    match (n, m) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return f64::INFINITY,
+        _ => {}
+    }
+    let steps = n.max(m) as f64;
+    let gap_lb = a.envelope().gap2(b.envelope()).sqrt() * steps;
+    let d_first = a.d2(0, b, 0).sqrt();
+    let kim = if n + m > 2 { d_first + a.d2(n - 1, b, m - 1).sqrt() } else { d_first };
+    gap_lb.max(kim)
+}
+
+/// O(|A| + |B|) LB_Keogh-style bound: each point of `a` appears in at
+/// least one aligned pair, whose cost is at least the point's distance
+/// to `b`'s bounding envelope — so the sum over `a` (and symmetrically
+/// over `b`; the max of the two directions) lower-bounds DTW. Callers
+/// must ensure both trajectories are non-empty.
+fn lb_envelope_sum(a: &ProjectedTraj, b: &ProjectedTraj) -> f64 {
+    let eb = b.envelope();
+    let from_a: f64 =
+        (0..a.len()).map(|i| eb.point_gap2(a.xs()[i], a.ys()[i]).sqrt()).sum();
+    let ea = a.envelope();
+    let from_b: f64 =
+        (0..b.len()).map(|j| ea.point_gap2(b.xs()[j], b.ys()[j]).sqrt()).sum();
+    from_a.max(from_b)
+}
+
+/// The `k` nearest trajectories to `query` in `db` under (banded) DTW,
+/// via the pruning cascade. Ascending by `(distance, index)`; exactly
+/// the brute-force result.
+pub fn knn_dtw(
+    db: &[ProjectedTraj],
+    query: &ProjectedTraj,
+    k: usize,
+    band: Option<usize>,
+) -> Vec<Neighbor> {
+    let k = k.min(db.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    DIST_PAIRS.add(db.len() as u64);
+
+    // Most promising candidates first: better thresholds sooner, and once
+    // the cheap bound alone exceeds the threshold, everything after it in
+    // this order is eliminated wholesale.
+    let mut order: Vec<(f64, usize)> =
+        db.iter().enumerate().map(|(i, c)| (lb_cheap(query, c), i)).collect();
+    order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    let mut lb_hits = 0u64;
+    let mut pruned = 0u64;
+    for (pos, &(lb1, i)) in order.iter().enumerate() {
+        let tau = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap.peek().expect("heap is full").distance
+        };
+        if lb1 > tau {
+            let rest = (order.len() - pos) as u64;
+            lb_hits += rest;
+            pruned += rest;
+            break;
+        }
+        let cand = &db[i];
+        if !query.is_empty()
+            && !cand.is_empty()
+            && lb_envelope_sum(query, cand).max(lb1) > tau
+        {
+            lb_hits += 1;
+            pruned += 1;
+            continue;
+        }
+        match dtw::dtw_projected_pruned(query, cand, band, tau) {
+            Some(d) => {
+                let entry = HeapEntry { distance: d, index: i };
+                if heap.len() < k {
+                    heap.push(entry);
+                } else if entry < *heap.peek().expect("heap is full") {
+                    heap.pop();
+                    heap.push(entry);
+                }
+            }
+            None => pruned += 1,
+        }
+    }
+    DIST_LB_HITS.add(lb_hits);
+    DIST_PAIRS_PRUNED.add(pruned);
+
+    let mut out: Vec<Neighbor> = heap
+        .into_iter()
+        .map(|e| Neighbor { index: e.index, distance: e.distance })
+        .collect();
+    out.sort_unstable_by(|a, b| {
+        a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index))
+    });
+    out
+}
+
+/// Brute-force k-nearest: evaluates every candidate in full. The oracle
+/// the pruned path is tested against (and the bench baseline).
+pub fn knn_dtw_brute(
+    db: &[ProjectedTraj],
+    query: &ProjectedTraj,
+    k: usize,
+    band: Option<usize>,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = db
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Neighbor {
+            index: i,
+            distance: dtw::dtw_projected_pruned(query, c, band, f64::INFINITY)
+                .expect("infinite cutoff never abandons"),
+        })
+        .collect();
+    all.sort_unstable_by(|a, b| {
+        a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index))
+    });
+    all.truncate(k.min(all.len()));
+    all
+}
+
+/// All trajectories within `radius_m` of `query` under (banded) DTW,
+/// ascending by `(distance, index)`, using the same pruning cascade with
+/// the fixed radius as the threshold.
+pub fn within_radius_dtw(
+    db: &[ProjectedTraj],
+    query: &ProjectedTraj,
+    radius_m: f64,
+    band: Option<usize>,
+) -> Vec<Neighbor> {
+    DIST_PAIRS.add(db.len() as u64);
+    let mut lb_hits = 0u64;
+    let mut pruned = 0u64;
+    let mut out = Vec::new();
+    for (i, cand) in db.iter().enumerate() {
+        if lb_cheap(query, cand) > radius_m {
+            lb_hits += 1;
+            pruned += 1;
+            continue;
+        }
+        if !query.is_empty()
+            && !cand.is_empty()
+            && lb_envelope_sum(query, cand) > radius_m
+        {
+            lb_hits += 1;
+            pruned += 1;
+            continue;
+        }
+        match dtw::dtw_projected_pruned(query, cand, band, radius_m) {
+            Some(d) if d <= radius_m => out.push(Neighbor { index: i, distance: d }),
+            Some(_) => {}
+            None => pruned += 1,
+        }
+    }
+    DIST_LB_HITS.add(lb_hits);
+    DIST_PAIRS_PRUNED.add(pruned);
+    out.sort_unstable_by(|a, b| {
+        a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index))
+    });
+    out
+}
+
+/// A projected corpus ready to answer nearest-trajectory queries — the
+/// serving-shaped entry point: project once at build time, then each
+/// query is cascade-pruned DTW against the resident buffers.
+#[derive(Clone, Debug)]
+pub struct KnnIndex {
+    projector: Projector,
+    items: Vec<ProjectedTraj>,
+}
+
+impl KnnIndex {
+    /// Projects `trajectories` under their mean-latitude anchor.
+    pub fn build(trajectories: &[Trajectory]) -> Self {
+        let (projector, items) = ProjectedTraj::project_all(trajectories);
+        Self { projector, items }
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the index holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The projection queries are mapped through (the corpus anchor).
+    pub fn projector(&self) -> &Projector {
+        &self.projector
+    }
+
+    /// The projected corpus (for callers composing their own queries).
+    pub fn items(&self) -> &[ProjectedTraj] {
+        &self.items
+    }
+
+    /// The `k` nearest indexed trajectories to `query` under (banded)
+    /// DTW.
+    pub fn knn(&self, query: &Trajectory, k: usize, band: Option<usize>) -> Vec<Neighbor> {
+        let q = ProjectedTraj::project(query, &self.projector);
+        knn_dtw(&self.items, &q, k, band)
+    }
+
+    /// All indexed trajectories within `radius_m` meters of `query`.
+    pub fn within_radius(
+        &self,
+        query: &Trajectory,
+        radius_m: f64,
+        band: Option<usize>,
+    ) -> Vec<Neighbor> {
+        let q = ProjectedTraj::project(query, &self.projector);
+        within_radius_dtw(&self.items, &q, radius_m, band)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_data::GpsPoint;
+
+    fn traj(id: u64, lat: f64, lon: f64, len: usize) -> Trajectory {
+        Trajectory::new(
+            id,
+            (0..len)
+                .map(|i| GpsPoint::new(lat + i as f64 * 1e-4, lon + i as f64 * 1e-3, i as f64))
+                .collect(),
+        )
+    }
+
+    fn corpus() -> Vec<Trajectory> {
+        (0..12).map(|i| traj(i, 30.0 + (i as f64) * 0.01, 120.0, 4 + (i as usize % 4))).collect()
+    }
+
+    #[test]
+    fn pruned_knn_matches_brute_force() {
+        let ts = corpus();
+        let (_, db) = ProjectedTraj::project_all(&ts);
+        let query = &db[3];
+        for k in [1, 3, 12, 20] {
+            for band in [None, Some(2)] {
+                let fast = knn_dtw(&db, query, k, band);
+                let brute = knn_dtw_brute(&db, query, k, band);
+                assert_eq!(fast, brute, "k = {k}, band = {band:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_of_a_member_is_itself() {
+        let ts = corpus();
+        let (_, db) = ProjectedTraj::project_all(&ts);
+        let res = knn_dtw(&db, &db[5], 1, None);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].index, 5);
+        assert_eq!(res[0].distance, 0.0);
+    }
+
+    #[test]
+    fn pruning_actually_fires_on_spread_out_data() {
+        let ts = corpus();
+        let (_, db) = ProjectedTraj::project_all(&ts);
+        let before = DIST_PAIRS_PRUNED.get();
+        let _ = knn_dtw(&db, &db[0], 2, None);
+        assert!(
+            DIST_PAIRS_PRUNED.get() > before,
+            "clusters 100+ km apart must be pruned, not fully evaluated"
+        );
+    }
+
+    #[test]
+    fn radius_query_matches_brute_filter() {
+        let ts = corpus();
+        let (_, db) = ProjectedTraj::project_all(&ts);
+        let query = &db[4];
+        let radius = 5_000.0;
+        let got = within_radius_dtw(&db, query, radius, None);
+        let brute: Vec<Neighbor> = knn_dtw_brute(&db, query, db.len(), None)
+            .into_iter()
+            .filter(|n| n.distance <= radius)
+            .collect();
+        assert_eq!(got, brute);
+        assert!(!got.is_empty(), "the query itself is within any radius");
+    }
+
+    #[test]
+    fn index_answers_queries_for_unseen_trajectories() {
+        let ts = corpus();
+        let index = KnnIndex::build(&ts);
+        assert_eq!(index.len(), ts.len());
+        // A probe near corpus item 7 but not in the corpus.
+        let probe = traj(99, 30.0702, 120.0, 5);
+        let res = index.knn(&probe, 3, None);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].index, 7, "closest corpus trajectory");
+        assert!(res[0].distance < res[1].distance);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let index = KnnIndex::build(&[]);
+        assert!(index.is_empty());
+        assert!(index.knn(&traj(0, 30.0, 120.0, 3), 4, None).is_empty());
+        let ts = corpus();
+        let (_, db) = ProjectedTraj::project_all(&ts);
+        assert!(knn_dtw(&db, &db[0], 0, None).is_empty());
+        // Empty query: DTW to every non-empty candidate is +inf, but k
+        // results are still returned (all infinite), same as brute force.
+        let (_, eq) = ProjectedTraj::project_all(&[Trajectory::new(0, vec![])]);
+        let fast = knn_dtw(&db, &eq[0], 2, None);
+        let brute = knn_dtw_brute(&db, &eq[0], 2, None);
+        assert_eq!(fast, brute);
+        assert!(fast.iter().all(|n| n.distance.is_infinite()));
+    }
+}

@@ -5,7 +5,70 @@
 //! index positions, the ICDE'02 time-warp constraint). The LCSS *distance*
 //! is `1 − LCSS/min(|A|, |B|)`.
 
+use crate::project::ProjectedTraj;
 use traj_data::Trajectory;
+
+/// LCSS length over pre-projected buffers: squared distance against
+/// `eps_m²`, no per-cell trig or square root. [`lcss_length`] stays as
+/// the lat/lon oracle.
+pub fn lcss_projected_length(
+    a: &ProjectedTraj,
+    b: &ProjectedTraj,
+    eps_m: f64,
+    delta: Option<usize>,
+) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let eps2 = eps_m * eps_m;
+    let (bx, by) = (b.xs(), b.ys());
+    let mut prev = vec![0usize; m + 1];
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        curr[0] = 0;
+        let (ax, ay) = (a.xs()[i - 1], a.ys()[i - 1]);
+        if delta.is_none() {
+            // Unconstrained match predicate: register-carried
+            // curr[j-1]/prev[j-1] over zipped slices, as in
+            // `dtw_projected` — the hot path for full matrices.
+            let mut left = 0usize;
+            let mut diag = prev[0];
+            for ((out, (&bxj, &byj)), &up) in
+                curr[1..].iter_mut().zip(bx.iter().zip(by)).zip(&prev[1..])
+            {
+                let dx = ax - bxj;
+                let dy = ay - byj;
+                let v = if dx.mul_add(dx, dy * dy) <= eps2 { diag + 1 } else { up.max(left) };
+                *out = v;
+                diag = up;
+                left = v;
+            }
+        } else {
+            for j in 1..=m {
+                let within_delta = delta.is_none_or(|d| i.abs_diff(j) <= d);
+                let dx = ax - bx[j - 1];
+                let dy = ay - by[j - 1];
+                if within_delta && dx.mul_add(dx, dy * dy) <= eps2 {
+                    curr[j] = prev[j - 1] + 1;
+                } else {
+                    curr[j] = prev[j].max(curr[j - 1]);
+                }
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Projected LCSS distance `1 − LCSS/min(|A|, |B|)`, in `[0, 1]`.
+pub fn lcss_projected_distance(a: &ProjectedTraj, b: &ProjectedTraj, eps_m: f64) -> f64 {
+    let denom = a.len().min(b.len());
+    if denom == 0 {
+        return if a.len() == b.len() { 0.0 } else { 1.0 };
+    }
+    1.0 - lcss_projected_length(a, b, eps_m, None) as f64 / denom as f64
+}
 
 /// Length of the longest common subsequence under the spatial threshold
 /// `eps_m` and optional index-offset constraint `delta`.

@@ -9,6 +9,13 @@
 //! All metrics use a fast city-scale equirectangular approximation of
 //! geodesic distance between GPS points (validated against haversine in
 //! `traj-data`).
+//!
+//! The hot paths run on [`project::ProjectedTraj`] — trajectories
+//! projected **once** into flat meter buffers (anchored at the dataset
+//! mean latitude) so the O(L²) DP inner loops are trig-free — and the
+//! [`knn`] module answers k-nearest/radius queries through a
+//! lower-bound pruning cascade without materializing the full matrix.
+//! The original lat/lon kernels remain as the tested oracles.
 
 #![warn(missing_docs)]
 
@@ -17,10 +24,14 @@ pub mod edr;
 pub mod erp;
 pub mod frechet;
 pub mod hausdorff;
+pub mod knn;
 pub mod lcss;
 pub mod matrix;
 pub mod metric;
+pub mod project;
 pub mod telemetry;
 
+pub use knn::{KnnIndex, Neighbor};
 pub use matrix::DistanceMatrix;
 pub use metric::Metric;
+pub use project::{Envelope, ProjectedTraj};

@@ -3,10 +3,51 @@
 //! The paper's classic baselines (EDR/LCSS/DTW/Hausdorff + K-Medoids) all
 //! need the full O(n²) pairwise matrix; this is also the dominant cost the
 //! Fig. 3 scalability experiment measures for them.
+//!
+//! The engine projects every trajectory **once** into flat meter buffers
+//! ([`ProjectedTraj`]) and then sweeps the upper triangle in cache-blocked
+//! square tiles addressed by arithmetic triangle indexing — no
+//! materialized `Vec<(i, j)>` pair list (16 bytes/pair would be ~51 GB of
+//! indices at the paper's 80k-trajectory scale), and each tile keeps its
+//! ≤ 2·`TILE` hot `ProjectedTraj`s resident in cache across `TILE²`
+//! pairs.
 
 use crate::metric::Metric;
+use crate::project::ProjectedTraj;
 use rayon::prelude::*;
+use std::time::Instant;
 use traj_data::Trajectory;
+
+/// Tile edge of the blocked pair sweep: 64² pairs per task is coarse
+/// enough to amortize scheduling and fine enough to balance uneven
+/// per-pair costs; 2 × 64 trajectories of SoA coordinates fit in L2.
+const TILE: usize = 64;
+
+/// Number of upper-triangle (incl. diagonal) tiles in an `nb × nb` grid
+/// that precede tile row `r`: row `r'` contributes `nb - r'` tiles.
+#[inline]
+fn tile_row_offset(r: usize, nb: usize) -> usize {
+    r * (2 * nb - r + 1) / 2
+}
+
+/// Maps a flat rank `t` to the `(bi, bj)` tile coordinates (`bi ≤ bj`)
+/// of the row-major upper-triangle enumeration — the arithmetic
+/// replacement for a materialized pair list.
+fn unrank_upper_tile(t: usize, nb: usize) -> (usize, usize) {
+    debug_assert!(t < tile_row_offset(nb, nb));
+    // Initial guess from the quadratic root of tile_row_offset(r) = t,
+    // then integer fix-up against floating-point edge error.
+    let disc = (2.0 * nb as f64 + 1.0).powi(2) - 8.0 * t as f64;
+    let mut r = ((2.0 * nb as f64 + 1.0 - disc.max(0.0).sqrt()) / 2.0).floor() as usize;
+    r = r.min(nb - 1);
+    while r > 0 && tile_row_offset(r, nb) > t {
+        r -= 1;
+    }
+    while r + 1 < nb && tile_row_offset(r + 1, nb) <= t {
+        r += 1;
+    }
+    (r, r + (t - tile_row_offset(r, nb)))
+}
 
 /// A symmetric `n × n` distance matrix stored densely row-major.
 #[derive(Clone, Debug)]
@@ -16,30 +57,73 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes all pairwise distances under `metric`, parallelizing over
-    /// the flattened upper-triangle pairs. Per-row scheduling leaves the
-    /// worker handed row 0 with `n - 1` distances while the one handed the
-    /// last row gets none; flat (i, j) pairs split into equal chunks keep
-    /// every thread busy until the triangle is exhausted.
+    /// Computes all pairwise distances under `metric`.
+    ///
+    /// Projects each trajectory once (dataset-mean-latitude anchor),
+    /// then parallelizes over cache-blocked upper-triangle tiles, each
+    /// worker running the trig-free projected kernels over its tile.
+    /// When telemetry is enabled, per-pair latencies are recorded into a
+    /// merged `dist.pair_ms` histogram alongside the `dist.pairs`
+    /// counter.
     pub fn compute(trajectories: &[Trajectory], metric: &Metric) -> Self {
         let recorder = traj_obs::global();
         let _span = recorder.span("dist.matrix");
         let n = trajectories.len();
-        let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-        for i in 0..n {
-            for j in i + 1..n {
-                pairs.push((i, j));
+        if n == 0 {
+            return Self { n: 0, data: Vec::new() };
+        }
+        let (_projector, projected) = ProjectedTraj::project_all(trajectories);
+        crate::telemetry::DIST_PAIRS.add((n * (n - 1) / 2) as u64);
+
+        let timed = recorder.enabled();
+        let nb = n.div_ceil(TILE);
+        let num_tiles = tile_row_offset(nb, nb);
+        let tiles: Vec<(usize, usize, Vec<f64>, Option<traj_obs::Histogram>)> = (0..num_tiles)
+            .into_par_iter()
+            .map(|t| {
+                let (bi, bj) = unrank_upper_tile(t, nb);
+                let (i0, i1) = (bi * TILE, ((bi + 1) * TILE).min(n));
+                let (j0, j1) = (bj * TILE, ((bj + 1) * TILE).min(n));
+                let mut out = Vec::with_capacity((i1 - i0) * (j1 - j0));
+                let mut hist = timed.then(traj_obs::Histogram::new);
+                for i in i0..i1 {
+                    let pi = &projected[i];
+                    let jstart = if bi == bj { i + 1 } else { j0 };
+                    for pj in &projected[jstart..j1] {
+                        match &mut hist {
+                            Some(h) => {
+                                let t0 = Instant::now();
+                                out.push(metric.distance_projected(pi, pj));
+                                h.record(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                            None => out.push(metric.distance_projected(pi, pj)),
+                        }
+                    }
+                }
+                (bi, bj, out, hist)
+            })
+            .collect();
+
+        let mut data = vec![0.0f64; n * n];
+        let mut pair_ms = timed.then(traj_obs::Histogram::new);
+        for (bi, bj, values, hist) in tiles {
+            let (i0, i1) = (bi * TILE, ((bi + 1) * TILE).min(n));
+            let (j0, j1) = (bj * TILE, ((bj + 1) * TILE).min(n));
+            let mut values = values.into_iter();
+            for i in i0..i1 {
+                let jstart = if bi == bj { i + 1 } else { j0 };
+                for j in jstart..j1 {
+                    let d = values.next().expect("tile emits one value per pair");
+                    data[i * n + j] = d;
+                    data[j * n + i] = d;
+                }
+            }
+            if let (Some(acc), Some(h)) = (&mut pair_ms, hist) {
+                acc.merge(&h);
             }
         }
-        crate::telemetry::DIST_PAIRS.add(pairs.len() as u64);
-        let distances: Vec<f64> = pairs
-            .par_iter()
-            .map(|&(i, j)| metric.distance(&trajectories[i], &trajectories[j]))
-            .collect();
-        let mut data = vec![0.0f64; n * n];
-        for (&(i, j), d) in pairs.iter().zip(distances) {
-            data[i * n + j] = d;
-            data[j * n + i] = d;
+        if let Some(h) = pair_ms {
+            recorder.histogram("dist.pair_ms", &h);
         }
         Self { n, data }
     }
@@ -81,13 +165,15 @@ impl DistanceMatrix {
     }
 
     /// Index of the item with the minimum total distance to all others
-    /// (the 1-medoid). `None` for an empty matrix.
+    /// (the 1-medoid). `None` for an empty matrix. Row sums run in
+    /// parallel; ties break toward the lower index, matching the serial
+    /// scan this replaces.
     pub fn medoid(&self) -> Option<usize> {
-        (0..self.n).min_by(|&a, &b| {
-            let sa: f64 = self.row(a).iter().sum();
-            let sb: f64 = self.row(b).iter().sum();
-            sa.total_cmp(&sb)
-        })
+        (0..self.n)
+            .into_par_iter()
+            .map(|i| (self.row(i).iter().sum::<f64>(), i))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, i)| i)
     }
 }
 
@@ -130,9 +216,17 @@ mod tests {
     }
 
     #[test]
-    fn flattened_pair_parallelism_matches_serial_reference() {
-        // Varied lengths so per-pair cost is uneven, exercising the chunked
-        // schedule; the result must equal the naive serial double loop.
+    fn medoid_ties_break_toward_lower_index() {
+        // Two identical rows: both indices have equal row sums.
+        let m = DistanceMatrix::from_dense(3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 2.0, 2.0, 2.0, 0.0]);
+        assert_eq!(m.medoid(), Some(0));
+    }
+
+    #[test]
+    fn blocked_tiles_match_serial_projected_reference() {
+        // Varied lengths so per-pair cost is uneven, exercising the tile
+        // schedule; the result must equal the naive serial double loop
+        // over the same projected buffers, bit for bit.
         let ts: Vec<Trajectory> = (0..9)
             .map(|i| {
                 Trajectory::new(
@@ -149,14 +243,88 @@ mod tests {
                 )
             })
             .collect();
-        for metric in [Metric::Dtw, Metric::Hausdorff] {
+        let (_, projected) = ProjectedTraj::project_all(&ts);
+        for metric in [Metric::Dtw, Metric::Hausdorff, Metric::DtwBanded { band: 2 }] {
             let m = DistanceMatrix::compute(&ts, &metric);
             for i in 0..ts.len() {
                 for j in 0..ts.len() {
-                    let expect =
-                        if i == j { 0.0 } else { metric.distance(&ts[i], &ts[j]) };
+                    let expect = if i == j {
+                        0.0
+                    } else {
+                        metric.distance_projected(&projected[i], &projected[j])
+                    };
                     assert_eq!(m.get(i, j), expect, "{metric:?} ({i}, {j})");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn projected_matrix_tracks_latlon_reference_within_tolerance() {
+        let ts: Vec<Trajectory> = (0..6)
+            .map(|i| {
+                Trajectory::new(
+                    i,
+                    (0..8)
+                        .map(|p| {
+                            GpsPoint::new(
+                                30.0 + i as f64 * 0.012 + p as f64 * 2e-4,
+                                120.0 + p as f64 * 1.5e-3,
+                                p as f64,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        for metric in [Metric::Dtw, Metric::Hausdorff, Metric::Erp, Metric::Frechet] {
+            let m = DistanceMatrix::compute(&ts, &metric);
+            for i in 0..ts.len() {
+                for j in 0..ts.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let reference = metric.distance(&ts[i], &ts[j]);
+                    let got = m.get(i, j);
+                    assert!(
+                        (got - reference).abs() <= 1.5e-3 * reference.abs() + 1e-9,
+                        "{metric:?} ({i}, {j}): projected {got} vs reference {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_unranking_roundtrips() {
+        for nb in 1..40 {
+            let mut t = 0;
+            for bi in 0..nb {
+                for bj in bi..nb {
+                    assert_eq!(unrank_upper_tile(t, nb), (bi, bj), "t = {t}, nb = {nb}");
+                    t += 1;
+                }
+            }
+            assert_eq!(tile_row_offset(nb, nb), t, "total tile count, nb = {nb}");
+        }
+    }
+
+    #[test]
+    fn spans_multiple_tiles() {
+        // n > TILE exercises off-diagonal tiles and the refill path.
+        let ts: Vec<Trajectory> = (0..(TILE + 9) as u64)
+            .map(|i| traj(i, 30.0 + i as f64 * 1e-3))
+            .collect();
+        let m = DistanceMatrix::compute(&ts, &Metric::Hausdorff);
+        let (_, projected) = ProjectedTraj::project_all(&ts);
+        for i in [0, 1, TILE - 1, TILE, TILE + 5] {
+            for j in [0, TILE - 2, TILE, TILE + 8] {
+                let expect = if i == j {
+                    0.0
+                } else {
+                    Metric::Hausdorff.distance_projected(&projected[i], &projected[j])
+                };
+                assert_eq!(m.get(i, j), expect, "({i}, {j})");
             }
         }
     }

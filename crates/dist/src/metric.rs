@@ -1,5 +1,6 @@
 //! Unified metric selector covering the paper's four baseline distances.
 
+use crate::project::ProjectedTraj;
 use crate::{dtw, edr, erp, frechet, hausdorff, lcss};
 use traj_data::Trajectory;
 
@@ -20,6 +21,14 @@ pub enum Metric {
     },
     /// Dynamic Time Warping, normalized per aligned point (meters).
     Dtw,
+    /// DTW restricted to a Sakoe–Chiba band of half-width `band` cells
+    /// (widened to the length difference when necessary; see
+    /// [`crate::dtw::dtw_banded`]). Opt-in accelerator for the
+    /// scalability sweep: O(L·band) per pair instead of O(L²).
+    DtwBanded {
+        /// Band half-width in cells.
+        band: usize,
+    },
     /// Symmetric Hausdorff distance (meters).
     Hausdorff,
     /// Edit distance with Real Penalty (metric-true edit distance;
@@ -36,6 +45,7 @@ impl Metric {
             Metric::Edr { .. } => "EDR",
             Metric::Lcss { .. } => "LCSS",
             Metric::Dtw => "DTW",
+            Metric::DtwBanded { .. } => "DTW-SC",
             Metric::Hausdorff => "Hausdorff",
             Metric::Erp => "ERP",
             Metric::Frechet => "Frechet",
@@ -55,9 +65,26 @@ impl Metric {
             Metric::Edr { eps_m } => edr::edr(a, b, eps_m),
             Metric::Lcss { eps_m } => lcss::lcss_distance(a, b, eps_m),
             Metric::Dtw => dtw::dtw(a, b),
+            Metric::DtwBanded { band } => dtw::dtw_banded(a, b, band),
             Metric::Hausdorff => hausdorff::hausdorff(a, b),
             Metric::Erp => erp::erp_origin(a, b),
             Metric::Frechet => frechet::frechet(a, b),
+        }
+    }
+
+    /// Distance between two pre-projected trajectories — the trig-free
+    /// kernels [`crate::DistanceMatrix::compute`] and [`crate::knn`] run
+    /// on. Agrees with [`Metric::distance`] to within the equirectangular
+    /// anchor tolerance (< 0.1 % at city scale; see DESIGN.md §12).
+    pub fn distance_projected(&self, a: &ProjectedTraj, b: &ProjectedTraj) -> f64 {
+        match *self {
+            Metric::Edr { eps_m } => edr::edr_projected(a, b, eps_m),
+            Metric::Lcss { eps_m } => lcss::lcss_projected_distance(a, b, eps_m),
+            Metric::Dtw => dtw::dtw_projected(a, b),
+            Metric::DtwBanded { band } => dtw::dtw_projected_banded(a, b, band),
+            Metric::Hausdorff => hausdorff::hausdorff_projected(a, b),
+            Metric::Erp => erp::erp_projected(a, b),
+            Metric::Frechet => frechet::frechet_projected(a, b),
         }
     }
 

@@ -1,0 +1,344 @@
+//! Property tests pinning the projected engine to its oracles.
+//!
+//! Two layers of agreement are proven on random city-scale trajectories:
+//!
+//! 1. **Exactness of the rewrite** — each projected kernel matches a
+//!    *naive full-table* DP evaluated from raw lat/lon through the same
+//!    anchored [`Projector`] (per-pair trig, no rolling rows, no
+//!    squared-distance tricks) to 1e-6 relative error (EDR/LCSS edit
+//!    counts match exactly).
+//! 2. **Projection tolerance** — the projected kernels track the
+//!    original per-pair-midpoint lat/lon references within the
+//!    documented < 0.1 % envelope (DESIGN.md §12); for the thresholded
+//!    metrics the edit counts may only differ by the number of
+//!    near-threshold pairs.
+//!
+//! Plus: the knn pruning cascade returns exactly the brute-force result.
+
+use proptest::prelude::*;
+use traj_data::{GpsPoint, Projector, Trajectory};
+use traj_dist::{dtw, edr, erp, frechet, hausdorff, knn, lcss, Metric, ProjectedTraj};
+
+/// Strategy: a trajectory of 1..12 points within a small city box.
+fn trajectory() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((30.0f64..30.1, 120.0f64..120.1), 1..12).prop_map(|pts| {
+        Trajectory::new(
+            0,
+            pts.into_iter()
+                .enumerate()
+                .map(|(i, (lat, lon))| GpsPoint::new(lat, lon, i as f64))
+                .collect(),
+        )
+    })
+}
+
+fn project_pair(a: &Trajectory, b: &Trajectory) -> (Projector, ProjectedTraj, ProjectedTraj) {
+    let (projector, mut ps) = ProjectedTraj::project_all(&[a.clone(), b.clone()]);
+    let pb = ps.pop().expect("two");
+    let pa = ps.pop().expect("two");
+    (projector, pa, pb)
+}
+
+fn assert_close(projected: f64, oracle: f64, what: &str) {
+    let tol = 1e-6 * oracle.abs() + 1e-9;
+    assert!(
+        (projected - oracle).abs() <= tol,
+        "{what}: projected {projected} vs anchored oracle {oracle}"
+    );
+}
+
+// ---- naive full-table anchored oracles -------------------------------
+//
+// Deliberately different implementation shape from the kernels: full
+// (n+1)×(m+1) tables, per-cell `Projector::distance_m` (anchored trig),
+// plain `<=` threshold on the un-squared distance.
+
+fn naive_dtw(a: &Trajectory, b: &Trajectory, p: &Projector, band: Option<usize>) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    match (n, m) {
+        (0, 0) => return 0.0,
+        (0, _) | (_, 0) => return f64::INFINITY,
+        _ => {}
+    }
+    let w = band.map_or(n.max(m), |bw| bw.max(n.abs_diff(m)));
+    let mut table = vec![vec![f64::INFINITY; m + 1]; n + 1];
+    table[0][0] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            if i.abs_diff(j) > w {
+                continue;
+            }
+            let cost = p.distance_m(&a.points[i - 1], &b.points[j - 1]);
+            let best = table[i - 1][j].min(table[i][j - 1]).min(table[i - 1][j - 1]);
+            table[i][j] = cost + best;
+        }
+    }
+    table[n][m]
+}
+
+fn naive_edr(a: &Trajectory, b: &Trajectory, p: &Projector, eps_m: f64) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let mut table = vec![vec![0.0f64; m + 1]; n + 1];
+    for (i, row) in table.iter_mut().enumerate() {
+        row[0] = i as f64;
+    }
+    for (j, cell) in table[0].iter_mut().enumerate() {
+        *cell = j as f64;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = if p.distance_m(&a.points[i - 1], &b.points[j - 1]) <= eps_m {
+                0.0
+            } else {
+                1.0
+            };
+            table[i][j] = (table[i - 1][j - 1] + sub)
+                .min(table[i - 1][j] + 1.0)
+                .min(table[i][j - 1] + 1.0);
+        }
+    }
+    table[n][m]
+}
+
+fn naive_lcss_len(a: &Trajectory, b: &Trajectory, p: &Projector, eps_m: f64) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut table = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            table[i][j] = if p.distance_m(&a.points[i - 1], &b.points[j - 1]) <= eps_m {
+                table[i - 1][j - 1] + 1
+            } else {
+                table[i - 1][j].max(table[i][j - 1])
+            };
+        }
+    }
+    table[n][m]
+}
+
+fn naive_hausdorff(a: &Trajectory, b: &Trajectory, p: &Projector) -> f64 {
+    let directed = |x: &Trajectory, y: &Trajectory| -> f64 {
+        x.points
+            .iter()
+            .map(|px| {
+                y.points
+                    .iter()
+                    .map(|py| p.distance_m(px, py))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    };
+    directed(a, b).max(directed(b, a))
+}
+
+fn naive_frechet(a: &Trajectory, b: &Trajectory, p: &Projector) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let mut table = vec![vec![f64::INFINITY; m]; n];
+    for i in 0..n {
+        for j in 0..m {
+            let d = p.distance_m(&a.points[i], &b.points[j]);
+            let prefix = if i == 0 && j == 0 {
+                0.0
+            } else if i == 0 {
+                table[i][j - 1]
+            } else if j == 0 {
+                table[i - 1][j]
+            } else {
+                table[i - 1][j].min(table[i][j - 1]).min(table[i - 1][j - 1])
+            };
+            table[i][j] = d.max(prefix);
+        }
+    }
+    table[n - 1][m - 1]
+}
+
+fn naive_erp(a: &Trajectory, b: &Trajectory, p: &Projector) -> f64 {
+    // Same pair-mean gap reference as `erp_origin`.
+    let total = (a.len() + b.len()).max(1) as f64;
+    let (mut lat, mut lon) = (0.0, 0.0);
+    for q in a.points.iter().chain(&b.points) {
+        lat += q.lat;
+        lon += q.lon;
+    }
+    let g = GpsPoint::new(lat / total, lon / total, 0.0);
+    let (n, m) = (a.len(), b.len());
+    let mut table = vec![vec![0.0f64; m + 1]; n + 1];
+    for i in 1..=n {
+        table[i][0] = table[i - 1][0] + p.distance_m(&a.points[i - 1], &g);
+    }
+    for j in 1..=m {
+        table[0][j] = table[0][j - 1] + p.distance_m(&b.points[j - 1], &g);
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let mat = table[i - 1][j - 1] + p.distance_m(&a.points[i - 1], &b.points[j - 1]);
+            let gap_b = table[i - 1][j] + p.distance_m(&a.points[i - 1], &g);
+            let gap_a = table[i][j - 1] + p.distance_m(&b.points[j - 1], &g);
+            table[i][j] = mat.min(gap_b).min(gap_a);
+        }
+    }
+    table[n][m]
+}
+
+const EPS_M: f64 = 150.0;
+
+proptest! {
+    // ---- layer 1: projected kernels == anchored naive oracles ----
+
+    #[test]
+    fn projected_dtw_matches_anchored_oracle(a in trajectory(), b in trajectory()) {
+        let (p, pa, pb) = project_pair(&a, &b);
+        assert_close(dtw::dtw_projected(&pa, &pb), naive_dtw(&a, &b, &p, None), "dtw");
+    }
+
+    #[test]
+    fn projected_banded_dtw_matches_anchored_oracle(
+        a in trajectory(),
+        b in trajectory(),
+        band in 0usize..6,
+    ) {
+        let (p, pa, pb) = project_pair(&a, &b);
+        assert_close(
+            dtw::dtw_projected_banded(&pa, &pb, band),
+            naive_dtw(&a, &b, &p, Some(band)),
+            "banded dtw",
+        );
+    }
+
+    #[test]
+    fn projected_edr_matches_anchored_oracle(a in trajectory(), b in trajectory()) {
+        let (p, pa, pb) = project_pair(&a, &b);
+        prop_assert_eq!(edr::edr_projected(&pa, &pb, EPS_M), naive_edr(&a, &b, &p, EPS_M));
+    }
+
+    #[test]
+    fn projected_lcss_matches_anchored_oracle(a in trajectory(), b in trajectory()) {
+        let (p, pa, pb) = project_pair(&a, &b);
+        prop_assert_eq!(
+            lcss::lcss_projected_length(&pa, &pb, EPS_M, None),
+            naive_lcss_len(&a, &b, &p, EPS_M)
+        );
+        let denom = a.len().min(b.len()) as f64;
+        let expect = 1.0 - naive_lcss_len(&a, &b, &p, EPS_M) as f64 / denom;
+        let got = lcss::lcss_projected_distance(&pa, &pb, EPS_M);
+        prop_assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_hausdorff_matches_anchored_oracle(a in trajectory(), b in trajectory()) {
+        let (p, pa, pb) = project_pair(&a, &b);
+        assert_close(
+            hausdorff::hausdorff_projected(&pa, &pb),
+            naive_hausdorff(&a, &b, &p),
+            "hausdorff",
+        );
+    }
+
+    #[test]
+    fn projected_frechet_matches_anchored_oracle(a in trajectory(), b in trajectory()) {
+        let (p, pa, pb) = project_pair(&a, &b);
+        assert_close(
+            frechet::frechet_projected(&pa, &pb),
+            naive_frechet(&a, &b, &p),
+            "frechet",
+        );
+    }
+
+    #[test]
+    fn projected_erp_matches_anchored_oracle(a in trajectory(), b in trajectory()) {
+        let (p, pa, pb) = project_pair(&a, &b);
+        assert_close(erp::erp_projected(&pa, &pb), naive_erp(&a, &b, &p), "erp");
+    }
+
+    // ---- layer 2: projected kernels track the midpoint references ----
+
+    #[test]
+    fn continuous_metrics_track_latlon_references(a in trajectory(), b in trajectory()) {
+        let (_, pa, pb) = project_pair(&a, &b);
+        let cases = [
+            (dtw::dtw_projected(&pa, &pb), dtw::dtw(&a, &b), "dtw"),
+            (hausdorff::hausdorff_projected(&pa, &pb), hausdorff::hausdorff(&a, &b), "hausdorff"),
+            (frechet::frechet_projected(&pa, &pb), frechet::frechet(&a, &b), "frechet"),
+            (erp::erp_projected(&pa, &pb), erp::erp_origin(&a, &b), "erp"),
+        ];
+        for (projected, reference, name) in cases {
+            prop_assert!(
+                (projected - reference).abs() <= 1.5e-3 * reference.abs() + 1e-9,
+                "{}: projected {} vs midpoint reference {}", name, projected, reference
+            );
+        }
+    }
+
+    #[test]
+    fn thresholded_metrics_flip_only_near_threshold(a in trajectory(), b in trajectory()) {
+        let (_, pa, pb) = project_pair(&a, &b);
+        // Pairs within the projection tolerance of the threshold are the
+        // only ones whose match predicate may differ between the anchored
+        // and midpoint frames.
+        let flip_budget = a
+            .points
+            .iter()
+            .flat_map(|pa| b.points.iter().map(move |pb| pa.euclid_approx_m(pb)))
+            .filter(|d| (d - EPS_M).abs() <= 3e-3 * EPS_M)
+            .count() as f64;
+        let edr_diff = (edr::edr_projected(&pa, &pb, EPS_M) - edr::edr(&a, &b, EPS_M)).abs();
+        prop_assert!(edr_diff <= flip_budget, "edr drift {} > budget {}", edr_diff, flip_budget);
+        let lcss_diff = (lcss::lcss_projected_length(&pa, &pb, EPS_M, None) as f64
+            - lcss::lcss_length(&a, &b, EPS_M, None) as f64)
+            .abs();
+        prop_assert!(lcss_diff <= flip_budget, "lcss drift {} > budget {}", lcss_diff, flip_budget);
+    }
+
+    #[test]
+    fn metric_dispatch_agrees_with_kernels(a in trajectory(), b in trajectory()) {
+        let (_, pa, pb) = project_pair(&a, &b);
+        for metric in [
+            Metric::Edr { eps_m: EPS_M },
+            Metric::Lcss { eps_m: EPS_M },
+            Metric::Dtw,
+            Metric::DtwBanded { band: 3 },
+            Metric::Hausdorff,
+            Metric::Erp,
+            Metric::Frechet,
+        ] {
+            let d = metric.distance_projected(&pa, &pb);
+            prop_assert!(d >= 0.0 && d.is_finite(), "{} produced {}", metric.name(), d);
+            prop_assert_eq!(
+                d,
+                metric.distance_projected(&pb, &pa),
+                "{} asymmetric under projection", metric.name()
+            );
+        }
+    }
+
+    // ---- knn: pruned cascade == brute force ----
+
+    #[test]
+    fn pruned_knn_equals_brute_force(
+        db in prop::collection::vec(trajectory(), 1..10),
+        query in trajectory(),
+        k in 1usize..6,
+        band in proptest::option::of(0usize..5),
+    ) {
+        let index = knn::KnnIndex::build(&db);
+        let q = ProjectedTraj::project(&query, index.projector());
+        let fast = knn::knn_dtw(index.items(), &q, k, band);
+        let brute = knn::knn_dtw_brute(index.items(), &q, k, band);
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn pruned_radius_equals_brute_filter(
+        db in prop::collection::vec(trajectory(), 1..10),
+        query in trajectory(),
+        radius in 100.0f64..20_000.0,
+    ) {
+        let index = knn::KnnIndex::build(&db);
+        let q = ProjectedTraj::project(&query, index.projector());
+        let got = knn::within_radius_dtw(index.items(), &q, radius, None);
+        let brute: Vec<knn::Neighbor> = knn::knn_dtw_brute(index.items(), &q, db.len(), None)
+            .into_iter()
+            .filter(|n| n.distance <= radius)
+            .collect();
+        prop_assert_eq!(got, brute);
+    }
+}

@@ -7,9 +7,10 @@
 #            telemetry no-op-overhead guard + golden-run regression)
 #   fault  — fault-injection integration tests (NaN poisoning, torn/killed
 #            checkpoint saves) behind the e2dtc `fault-injection` feature
-#   bench  — bench_nn in --test mode: every benchmark body runs once so the
-#            harness, kernels, and the unfused reference stay compilable and
-#            panic-free without paying for a full measurement run
+#   bench  — bench_nn and bench_dist in --test mode: every benchmark body
+#            runs once so the harnesses, kernels (fused GRU, projected
+#            distance, knn pruning), and the references stay compilable
+#            and panic-free without paying for a full measurement run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +20,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 cargo test -q -p e2dtc --features fault-injection --test fault_injection
 cargo bench -p e2dtc-bench --bench bench_nn -- --test
+cargo bench -p e2dtc-bench --bench bench_dist -- --test
 
 echo "tier1: OK"

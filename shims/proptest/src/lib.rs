@@ -130,6 +130,35 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     }
 }
 
+/// Option strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{OptionStrategy, Strategy};
+
+    /// `Option` values: `None` in roughly a quarter of cases, otherwise
+    /// `Some` of the inner strategy's value (real proptest's default
+    /// weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Strategy for options, produced by [`option::of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_range(0u8..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
 /// Constant strategy, mirroring `proptest::strategy::Just`.
 #[derive(Clone)]
 pub struct Just<T: Clone>(pub T);
