@@ -10,8 +10,9 @@
 //! Usage: `ablations [--n <trajectories>] [--seed <s>]`
 
 use e2dtc::{E2dtc, E2dtcConfig};
-use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
-use e2dtc_bench::report::{dump_json, dump_text, fmt3, parse_args, Table};
+use e2dtc_bench::datasets::DatasetKind;
+use e2dtc_bench::report::{dump_json, dump_text, fmt3, Table};
+use e2dtc_bench::setup::RunArgs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -26,11 +27,11 @@ struct Row {
 }
 
 fn main() {
-    let (_, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(400);
-    let data = labelled_dataset(DatasetKind::Hangzhou, n, seed);
+    let args = RunArgs::parse();
+    let seed = args.seed;
+    let n = args.n(400, 400);
+    let data = args.dataset("ablations", DatasetKind::Hangzhou, n);
     let k = data.num_clusters;
-    eprintln!("[ablations] {} labelled trajectories, k = {k}", data.len());
 
     let mut rows = Vec::new();
     let mut table = Table::new(&["Ablation", "Variant", "UACC", "NMI"]);

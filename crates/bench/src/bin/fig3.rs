@@ -15,14 +15,17 @@
 //! (width `w`) — the opt-in approximation that keeps the O(n²) sweep
 //! tractable at paper scale.
 
-use e2dtc::{E2dtc, E2dtcConfig, LossMode};
+use e2dtc::LossMode;
 use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
-use e2dtc_bench::methods::time_inference;
-use e2dtc_bench::report::{arg_value, dump_json, dump_text, fmt_secs, parse_args, Table};
+use e2dtc_bench::methods::time_inference_frozen;
+use e2dtc_bench::report::{arg_value, dump_json, dump_text, fmt_secs, Table};
+use e2dtc_bench::setup::{train_frozen, RunArgs};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 use traj_cluster::{kmedoids_alternating, KMedoidsConfig};
 use traj_dist::{DistanceMatrix, Metric};
+use traj_query::{QueryConfig, QueryEngine};
 
 #[derive(Serialize)]
 struct Point {
@@ -33,38 +36,36 @@ struct Point {
 }
 
 fn main() {
-    let (paper, _, seed) = parse_args();
+    let args = RunArgs::parse();
+    let seed = args.seed;
     let dtw_metric = match arg_value::<usize>("dtw-band") {
         Some(band) => Metric::DtwBanded { band },
         None => Metric::Dtw,
     };
-    let sizes: Vec<usize> =
-        if paper { vec![10_000, 20_000, 40_000, 80_000] } else { vec![100, 200, 400, 800] };
+    let sizes: Vec<usize> = if args.paper {
+        vec![10_000, 20_000, 40_000, 80_000]
+    } else {
+        vec![100, 200, 400, 800]
+    };
     let train_n = *sizes.first().expect("non-empty sweep");
 
     let mut points = Vec::new();
     let mut table = Table::new(&["Dataset", "Method", "n", "time"]);
 
     for kind in [DatasetKind::Porto, DatasetKind::Hangzhou] {
-        // Deep models are trained once, offline, on the smallest size.
-        let train_data = labelled_dataset(kind, train_n, seed);
-        let cfg = if paper {
-            E2dtcConfig::paper(train_data.num_clusters)
-        } else {
-            E2dtcConfig::fast(train_data.num_clusters)
-        }
-        .with_seed(seed);
-        let mut e2dtc_model = E2dtc::new(&train_data.dataset, cfg.clone());
-        let _ = e2dtc_model.fit(&train_data.dataset);
-        let mut t2vec_model =
-            E2dtc::new(&train_data.dataset, cfg.clone().with_loss_mode(LossMode::L0));
-        let _ = t2vec_model.fit(&train_data.dataset);
-        // Give the t2vec model centroids too so its inference path (embed
-        // + nearest centroid) is measurable the same way.
-        {
-            let emb = t2vec_model.embed_dataset(&train_data.dataset);
-            t2vec_model.init_centroids(&emb);
-        }
+        // Deep models are trained once, offline, on the smallest size,
+        // then frozen: the timed serve path is the tape-free batched
+        // query engine, which is what a deployed model would run.
+        let train_data = args.dataset("fig3", kind, train_n);
+        let cfg = args.config(train_data.num_clusters);
+        let e2dtc_engine = QueryEngine::new(
+            Arc::new(train_frozen(&train_data, cfg.clone())),
+            QueryConfig::default(),
+        );
+        let t2vec_engine = QueryEngine::new(
+            Arc::new(train_frozen(&train_data, cfg.with_loss_mode(LossMode::L0))),
+            QueryConfig::default(),
+        );
 
         for &n in &sizes {
             let data = labelled_dataset(kind, n, seed ^ 0x5157);
@@ -90,9 +91,9 @@ fn main() {
                 );
             }
 
-            let (_, secs) = time_inference(&mut t2vec_model, &data);
+            let (_, secs) = time_inference_frozen(&t2vec_engine, &data);
             record(&mut points, &mut table, kind, "t2vec + k-means", data.len(), secs);
-            let (_, secs) = time_inference(&mut e2dtc_model, &data);
+            let (_, secs) = time_inference_frozen(&e2dtc_engine, &data);
             record(&mut points, &mut table, kind, "E2DTC", data.len(), secs);
         }
     }

@@ -13,9 +13,10 @@
 //!
 //! Usage: `fig4 [--scale paper] [--n <samples>] [--seed <s>]`
 
-use e2dtc::{E2dtc, E2dtcConfig, LossMode};
+use e2dtc::{E2dtc, LossMode};
 use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
-use e2dtc_bench::report::{dump_json, dump_text, parse_args, Table};
+use e2dtc_bench::report::{dump_json, dump_text, Table};
+use e2dtc_bench::setup::RunArgs;
 use serde::Serialize;
 use traj_cluster::silhouette;
 use traj_dist::{DistanceMatrix, Metric};
@@ -30,9 +31,10 @@ struct Panel {
 }
 
 fn main() {
-    let (paper, n_override, seed) = parse_args();
+    let args = RunArgs::parse();
+    let seed = args.seed;
     // The paper uses a random subset of 1000 samples.
-    let n = n_override.unwrap_or(if paper { 1000 } else { 300 });
+    let n = args.n(1000, 300);
     let data = labelled_dataset(DatasetKind::Hangzhou, n * 2, seed);
     // Take the first n labelled trajectories as the visualization subset.
     let take = n.min(data.len());
@@ -64,12 +66,7 @@ fn main() {
     }
 
     // (e)–(h): deep representation spaces.
-    let base = if paper {
-        E2dtcConfig::paper(subset.num_clusters)
-    } else {
-        E2dtcConfig::fast(subset.num_clusters)
-    }
-    .with_seed(seed);
+    let base = args.config(subset.num_clusters);
     let deep_variants: [(&str, LossMode, u64); 4] = [
         ("t2vec", LossMode::L0, 11),
         ("L0", LossMode::L0, 0),

@@ -9,9 +9,10 @@
 //!
 //! Usage: `fig5 [--scale paper] [--n <trajectories>] [--seed <s>]`
 
-use e2dtc::{E2dtc, E2dtcConfig};
-use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
-use e2dtc_bench::report::{dump_json, dump_text, parse_args, Table};
+use e2dtc::E2dtc;
+use e2dtc_bench::datasets::DatasetKind;
+use e2dtc_bench::report::{dump_json, dump_text, Table};
+use e2dtc_bench::setup::RunArgs;
 use serde::Serialize;
 use traj_cluster::{silhouette, uacc};
 use traj_tsne::{tsne, TsneConfig};
@@ -31,21 +32,16 @@ struct Fig5Out {
 }
 
 fn main() {
-    let (paper, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
-    let data = labelled_dataset(DatasetKind::Hangzhou, n, seed);
-    eprintln!("[fig5] {} labelled, k = {}", data.len(), data.num_clusters);
+    let args = RunArgs::parse();
+    let seed = args.seed;
+    let n = args.n(80_000, 400);
+    let data = args.dataset("fig5", DatasetKind::Hangzhou, n);
 
-    let mut cfg = if paper {
-        E2dtcConfig::paper(data.num_clusters)
-    } else {
-        E2dtcConfig::fast(data.num_clusters)
-    }
-    .with_seed(seed);
+    let mut cfg = args.config(data.num_clusters);
     // Let the learning process run its full course for the figure
     // (disable the δ early stop so every epoch is recorded).
     cfg.delta = 0.0;
-    cfg.selftrain_epochs = if paper { 20 } else { 10 };
+    cfg.selftrain_epochs = if args.paper { 20 } else { 10 };
 
     let mut model = E2dtc::new(&data.dataset, cfg);
     let labels = data.labels.clone();

@@ -9,9 +9,10 @@
 //!
 //! Usage: `fig6 [--scale paper] [--n <trajectories>] [--seed <s>]`
 
-use e2dtc::{E2dtc, E2dtcConfig, LossMode};
-use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
-use e2dtc_bench::report::{dump_json, dump_text, parse_args, Table};
+use e2dtc::{E2dtc, LossMode};
+use e2dtc_bench::datasets::DatasetKind;
+use e2dtc_bench::report::{dump_json, dump_text, Table};
+use e2dtc_bench::setup::RunArgs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -27,16 +28,11 @@ struct Fig6Out {
 }
 
 fn main() {
-    let (paper, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
-    let data = labelled_dataset(DatasetKind::Hangzhou, n, seed);
-    eprintln!("[fig6] {} labelled, true k = {}", data.len(), data.num_clusters);
-    let base = if paper {
-        E2dtcConfig::paper(data.num_clusters)
-    } else {
-        E2dtcConfig::fast(data.num_clusters)
-    }
-    .with_seed(seed);
+    let args = RunArgs::parse();
+    let seed = args.seed;
+    let n = args.n(80_000, 400);
+    let data = args.dataset("fig6", DatasetKind::Hangzhou, n);
+    let base = args.config(data.num_clusters);
 
     // (a) Elbow over the pre-trained feature space.
     eprintln!("[fig6] pre-training the embedding for the elbow analysis");

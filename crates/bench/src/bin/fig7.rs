@@ -6,10 +6,10 @@
 //!
 //! Usage: `fig7 [--scale paper] [--n <trajectories>] [--seed <s>]`
 
-use e2dtc::E2dtcConfig;
 use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
 use e2dtc_bench::methods::{run_e2dtc, run_kmedoids, run_kmedoids_tuned, run_t2vec};
-use e2dtc_bench::report::{dump_json, dump_text, fmt3, parse_args, Table};
+use e2dtc_bench::report::{dump_json, dump_text, fmt3, Table};
+use e2dtc_bench::setup::RunArgs;
 use serde::Serialize;
 use traj_data::stats::DistributionStats;
 use traj_data::synth::{balanced_subset, imbalanced_subset};
@@ -25,8 +25,9 @@ struct Row {
 }
 
 fn main() {
-    let (paper, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(if paper { 80_000 } else { 900 });
+    let args = RunArgs::parse();
+    let seed = args.seed;
+    let n = args.n(80_000, 900);
     // Generate a strongly imbalanced source so the imbalanced subset has
     // its ≈7× skew available, then subset per Table V.
     let source = {
@@ -75,7 +76,7 @@ fn main() {
     let mut table = Table::new(&["Subset", "Method", "UACC", "NMI"]);
     for (label, data) in [("balanced", &balanced), ("imbalanced", &imbalanced)] {
         eprintln!("[fig7] {label}: {} trajectories", data.len());
-        let results = run_all(data, paper, seed);
+        let results = run_all(data, &args);
         for r in results {
             table.row(vec![
                 label.to_string(),
@@ -97,14 +98,9 @@ fn main() {
     println!("\nartifacts: experiments_out/fig7.{{json,txt}}");
 }
 
-fn run_all(data: &LabeledDataset, paper: bool, seed: u64) -> Vec<(String, f64, f64)> {
+fn run_all(data: &LabeledDataset, args: &RunArgs) -> Vec<(String, f64, f64)> {
     let eps = [100.0, 200.0, 400.0];
-    let cfg = if paper {
-        E2dtcConfig::paper(data.num_clusters)
-    } else {
-        E2dtcConfig::fast(data.num_clusters)
-    }
-    .with_seed(seed);
+    let cfg = args.config(data.num_clusters);
     let results = vec![
         run_kmedoids_tuned(data, |e| Metric::Edr { eps_m: e }, &eps, 3),
         run_kmedoids_tuned(data, |e| Metric::Lcss { eps_m: e }, &eps, 3),

@@ -4,8 +4,8 @@
 //! and the full pipeline under varying budgets.
 
 use e2dtc::{E2dtc, E2dtcConfig, LossMode, SkipGramConfig};
-use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
-use e2dtc_bench::report::parse_args;
+use e2dtc_bench::datasets::DatasetKind;
+use e2dtc_bench::setup::RunArgs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use traj_cluster::{kmeans, nmi, uacc, KMeansConfig, Points};
@@ -24,12 +24,12 @@ fn kmeans_scores(data: &[f32], n: usize, d: usize, k: usize, truth: &[usize]) ->
 }
 
 fn main() {
-    let (_, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(400);
-    let data = labelled_dataset(DatasetKind::Hangzhou, n, seed);
+    let args = RunArgs::parse();
+    let seed = args.seed;
+    let n = args.n(400, 400);
+    let data = args.dataset("probe", DatasetKind::Hangzhou, n);
     let k = data.num_clusters;
     let truth = &data.labels;
-    println!("probe: {} labelled trajectories, k = {k}", data.len());
 
     // Stage 1: mean-pooled skip-gram cell vectors, varying skip-gram budget.
     for (ep, win) in [(2usize, 3usize), (8, 5), (20, 5)] {

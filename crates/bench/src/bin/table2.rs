@@ -4,12 +4,14 @@
 //! Usage: `table2 [--scale paper] [--n <trajectories>] [--seed <s>]`
 
 use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
-use e2dtc_bench::report::{dump_json, dump_text, parse_args, Table};
+use e2dtc_bench::report::{dump_json, dump_text, Table};
+use e2dtc_bench::setup::RunArgs;
 use traj_data::stats::DatasetStats;
 
 fn main() {
-    let (paper, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(if paper { 86_000 } else { 400 });
+    let args = RunArgs::parse();
+    let n = args.n(86_000, 400);
+    let seed = args.seed;
 
     let mut table =
         Table::new(&["Attributes", "GeoLife", "Porto", "Hangzhou"]);

@@ -8,10 +8,10 @@
 //!
 //! Usage: `table3 [--scale paper] [--n <trajectories>] [--seed <s>]`
 
-use e2dtc::E2dtcConfig;
-use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc_bench::datasets::DatasetKind;
 use e2dtc_bench::methods::{run_e2dtc, run_kmedoids, run_kmedoids_tuned, run_t2vec};
-use e2dtc_bench::report::{dump_json, dump_text, fmt3, parse_args, Table};
+use e2dtc_bench::report::{dump_json, dump_text, fmt3, Table};
+use e2dtc_bench::setup::RunArgs;
 use serde::Serialize;
 use traj_dist::Metric;
 
@@ -26,8 +26,8 @@ struct Row {
 }
 
 fn main() {
-    let (paper, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
+    let args = RunArgs::parse();
+    let n = args.n(80_000, 400);
     let eps_candidates = [100.0, 200.0, 400.0];
     // The paper repeats every method 20× and averages; we use a smaller
     // CPU-friendly repeat count (classic clustering is cheap to repeat,
@@ -41,19 +41,8 @@ fn main() {
     ]);
 
     for kind in DatasetKind::ALL {
-        let data = labelled_dataset(kind, n, seed);
-        eprintln!(
-            "[table3] {} : {} labelled trajectories, k = {}",
-            kind.name(),
-            data.len(),
-            data.num_clusters
-        );
-        let cfg = if paper {
-            E2dtcConfig::paper(data.num_clusters)
-        } else {
-            E2dtcConfig::fast(data.num_clusters)
-        }
-        .with_seed(seed);
+        let data = args.dataset("table3", kind, n);
+        let cfg = args.config(data.num_clusters);
 
         let mut results = vec![
             run_kmedoids_tuned(&data, |eps| Metric::Edr { eps_m: eps }, &eps_candidates, repeats),

@@ -4,10 +4,11 @@
 //!
 //! Usage: `table4 [--scale paper] [--n <trajectories>] [--seed <s>]`
 
-use e2dtc::{E2dtcConfig, LossMode};
-use e2dtc_bench::datasets::{labelled_dataset, DatasetKind};
+use e2dtc::LossMode;
+use e2dtc_bench::datasets::DatasetKind;
 use e2dtc_bench::methods::run_deep;
-use e2dtc_bench::report::{dump_json, dump_text, fmt3, parse_args, Table};
+use e2dtc_bench::report::{dump_json, dump_text, fmt3, Table};
+use e2dtc_bench::setup::RunArgs;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,23 +21,16 @@ struct Row {
 }
 
 fn main() {
-    let (paper, n_override, seed) = parse_args();
-    let n = n_override.unwrap_or(if paper { 80_000 } else { 400 });
+    let args = RunArgs::parse();
+    let n = args.n(80_000, 400);
     let repeats = 3;
 
     let mut rows = Vec::new();
     let mut table = Table::new(&["Dataset", "Loss", "UACC", "NMI", "RI"]);
     for kind in DatasetKind::ALL {
-        let data = labelled_dataset(kind, n, seed);
-        eprintln!("[table4] {} : {} labelled, k = {}", kind.name(), data.len(), data.num_clusters);
+        let data = args.dataset("table4", kind, n);
         for mode in [LossMode::L0, LossMode::L1, LossMode::L2] {
-            let cfg = if paper {
-                E2dtcConfig::paper(data.num_clusters)
-            } else {
-                E2dtcConfig::fast(data.num_clusters)
-            }
-            .with_seed(seed)
-            .with_loss_mode(mode);
+            let cfg = args.config(data.num_clusters).with_loss_mode(mode);
             let r = run_deep(mode.name(), &data, cfg, repeats);
             table.row(vec![
                 kind.name().to_string(),

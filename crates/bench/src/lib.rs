@@ -10,6 +10,8 @@
 pub mod datasets;
 pub mod methods;
 pub mod report;
+pub mod setup;
 
 pub use datasets::{labelled_dataset, DatasetKind};
 pub use methods::{run_e2dtc, run_kmedoids, run_t2vec, MethodResult, Scores};
+pub use setup::{train_frozen, RunArgs};

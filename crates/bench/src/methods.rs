@@ -13,6 +13,7 @@ use std::time::Instant;
 use traj_cluster::{kmedoids_alternating, nmi, rand_index, uacc, KMedoidsConfig};
 use traj_data::LabeledDataset;
 use traj_dist::{DistanceMatrix, Metric};
+use traj_query::QueryEngine;
 
 /// UACC / NMI / RI triple (the paper's Table III columns).
 #[derive(Clone, Copy, Debug, Default)]
@@ -163,9 +164,20 @@ pub fn run_deep(
 
 /// Inference-only timing: embed + assign with a trained model (the
 /// "once trained, clustering requests are cheap" path of Fig. 3).
-pub fn time_inference(model: &mut E2dtc, data: &LabeledDataset) -> (Vec<usize>, f64) {
+pub fn time_inference(model: &E2dtc, data: &LabeledDataset) -> (Vec<usize>, f64) {
     let start = Instant::now();
     let assignments = model.assign(&data.dataset);
+    (assignments, start.elapsed().as_secs_f64())
+}
+
+/// Same timing through the tape-free serve path: a [`QueryEngine`] over a
+/// frozen encoder (what a deployed model would actually run).
+pub fn time_inference_frozen(
+    engine: &QueryEngine,
+    data: &LabeledDataset,
+) -> (Vec<usize>, f64) {
+    let start = Instant::now();
+    let assignments = engine.hard_assign(&data.dataset.trajectories);
     (assignments, start.elapsed().as_secs_f64())
 }
 

@@ -7,12 +7,15 @@
 //!                [--checkpoint-dir DIR] [--checkpoint-every N]
 //!                [--checkpoint-keep N] [--resume DIR_OR_FILE]
 //! e2dtc assign   --model model.json --data data.json --out assignments.json
+//! e2dtc embed    --model model.json --data data.json --out embeddings.json
 //! e2dtc evaluate --data data.json --assignments assignments.json
 //! ```
 //!
 //! `generate` emits a synthetic city labelled with the paper's Algorithm 2
 //! (σ = 0.6, λ = 0.7); `train` runs the full Algorithm 1; `assign` serves
-//! clustering requests with a frozen model; `evaluate` scores assignments
+//! clustering requests with a frozen model; `embed` batch-embeds
+//! trajectories through the tape-free frozen encoder (loading the
+//! checkpoint without optimizer state); `evaluate` scores assignments
 //! with UACC / NMI / RI.
 //!
 //! With `--checkpoint-dir`/`--checkpoint-every`, `train` drops an atomic,
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
         "generate" => generate(&flags),
         "train" => train(&flags),
         "assign" => assign(&flags),
+        "embed" => embed(&flags),
         "evaluate" => evaluate(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -84,6 +88,7 @@ USAGE:
                  [--checkpoint-dir DIR] [--checkpoint-every N]
                  [--checkpoint-keep N] [--resume DIR_OR_FILE]
   e2dtc assign   --model model.json --data data.json --out assignments.json
+  e2dtc embed    --model model.json --data data.json --out embeddings.json
   e2dtc evaluate --data data.json --assignments assignments.json
 
 GLOBAL FLAGS:
@@ -274,7 +279,7 @@ fn assign(flags: &HashMap<String, String>) -> Result<(), String> {
     let model_path = required(flags, "model")?;
     let data_path = required(flags, "data")?;
     let out = required(flags, "out")?;
-    let mut model = E2dtc::load(model_path).map_err(|e| e.to_string())?;
+    let model = E2dtc::load(model_path).map_err(|e| e.to_string())?;
     let data = load_labeled_json(data_path).map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let assignments = model.assign(&data.dataset);
@@ -291,6 +296,48 @@ fn assign(flags: &HashMap<String, String>) -> Result<(), String> {
     std::fs::write(out, json).map_err(|e| e.to_string())?;
     if !quiet(flags) {
         println!("assignments written to {out}");
+    }
+    Ok(())
+}
+
+fn embed(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model_path = required(flags, "model")?;
+    let data_path = required(flags, "data")?;
+    let out = required(flags, "out")?;
+    let frozen = e2dtc::FrozenEncoder::from_checkpoint(model_path).map_err(|e| e.to_string())?;
+    let data = load_labeled_json(data_path).map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let emb = frozen.embed_dataset(&data.dataset);
+    // Assignments ride along when the checkpoint carries centroids.
+    let assignments = frozen.centroids().map(|_| frozen.hard_assign(&emb));
+    let msg = format!(
+        "embedded {} trajectories (dim {}) in {:.0} ms{}",
+        emb.rows(),
+        emb.cols(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        if assignments.is_some() { ", with cluster assignments" } else { "" }
+    );
+    if !quiet(flags) {
+        println!("{msg}");
+    }
+    traj_obs::global().info(msg);
+    #[derive(serde::Serialize)]
+    struct EmbedOutput {
+        n: usize,
+        dim: usize,
+        embeddings: Vec<Vec<f32>>,
+        assignments: Option<Vec<usize>>,
+    }
+    let payload = EmbedOutput {
+        n: emb.rows(),
+        dim: emb.cols(),
+        embeddings: (0..emb.rows()).map(|r| emb.row(r).to_vec()).collect(),
+        assignments,
+    };
+    let json = serde_json::to_string(&payload).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    if !quiet(flags) {
+        println!("embeddings written to {out}");
     }
     Ok(())
 }

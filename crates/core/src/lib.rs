@@ -43,9 +43,11 @@
 // iterator-zip rewrites obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batcher;
 pub mod cell_embedding;
 pub mod config;
 pub mod dec;
+pub mod encoder;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod model;
@@ -53,9 +55,13 @@ pub mod persist;
 pub mod seq2seq;
 pub mod spatial_loss;
 pub mod t2vec;
+#[cfg(test)]
+pub(crate) mod test_util;
+pub mod trainer;
 pub mod vocab;
 
 pub use config::{E2dtcConfig, LossMode, SkipGramConfig};
+pub use encoder::FrozenEncoder;
 pub use model::{E2dtc, EpochRecord, FitResult, Phase, TrainingState};
 pub use persist::PersistError;
 pub use t2vec::t2vec_kmeans;

@@ -1,207 +1,37 @@
-//! The E²DTC model and training pipeline (paper §V, Algorithm 1).
+//! The E²DTC model facade.
 //!
-//! Phases, exactly as Fig. 2 lays them out:
+//! [`E2dtc`] holds everything the pipeline accumulates — grid, vocabulary,
+//! spatial weight table, seq2seq parameters, centroids, optimizer, RNG —
+//! and delegates the heavy lifting to focused modules:
 //!
-//! 1. **Trajectory embedding** (construction): grid discretization,
-//!    compact vocabulary, skip-gram cell vectors.
-//! 2. **Pre-training** ([`E2dtc::pretrain`]): corrupt-and-reconstruct
-//!    training of the seq2seq model under the spatial loss `L_r` (Eq. 8),
-//!    then k-means in the feature space to seed the cluster centroids.
-//! 3. **Self-training**: joint optimization of
-//!    `L_r + β·L_c + γ·L_t` (Eq. 14), with the target distribution `P`
-//!    recomputed each epoch and training stopped once cluster assignments
-//!    change by at most `δ`.
+//! - [`crate::trainer`] — pre-training, self-training, guards, rollback,
+//!   periodic checkpoints (everything that needs `&mut self`);
+//! - [`crate::encoder`] — the tape-free inference forward and the
+//!   [`FrozenEncoder`] produced by [`E2dtc::freeze`];
+//! - [`crate::batcher`] — length-bucketed batching shared by both;
+//! - [`crate::persist`] — checkpoint save/load/resume.
 //!
-//! [`E2dtc::fit`] runs all three and returns assignments, embeddings, and
-//! the per-epoch history.
-//!
-//! ## Fault tolerance (DESIGN.md §10)
-//!
-//! Training is the single point of failure in the paper's
-//! train-once/serve-forever story, so `fit` is hardened three ways:
-//!
-//! - **Non-finite guards** — every batch's loss and gradients pass
-//!   through a [`traj_nn::NonFiniteGuard`]; a poisoned update is skipped
-//!   (gradients zeroed, no optimizer step), and after
-//!   `guard_patience` consecutive poisoned batches the epoch is replayed
-//!   from an in-memory start-of-epoch snapshot with the learning rate
-//!   multiplied by `guard_lr_backoff`. Recoveries surface in
-//!   [`EpochRecord::skipped_batches`] / [`EpochRecord::rollbacks`].
-//! - **Periodic durable checkpoints** — with `checkpoint_every > 0` and a
-//!   `checkpoint_dir`, a format-v3 checkpoint (atomic write, checksum;
-//!   see [`crate::persist`]) is written after every N completed epochs
-//!   and rotated to the newest `checkpoint_keep_last` files.
-//! - **Resume** — [`E2dtc::resume`] restores model, optimizer, RNG
-//!   stream, and the phase cursor from the last good checkpoint; a
-//!   resumed `fit` continues where the interrupted run stopped and, for
-//!   the same seed, reproduces the uninterrupted run's final assignments
-//!   exactly (pinned by `tests/resume_integration.rs`).
+//! Inference entry points ([`E2dtc::embed_dataset`],
+//! [`E2dtc::soft_assignment`], [`E2dtc::assign`]) take `&self`: they run
+//! the tape-free path, which is bit-identical to the training forward
+//! (pinned by `tests/frozen_parity.rs`) and leaves the training RNG
+//! stream untouched.
 
 use crate::cell_embedding::train_cell_embeddings;
-use crate::config::{E2dtcConfig, LossMode};
-use crate::dec::{hard_assignment, label_change_fraction};
+use crate::config::E2dtcConfig;
+use crate::dec::hard_assignment;
+use crate::encoder::FrozenEncoder;
 use crate::seq2seq::Seq2Seq;
 use crate::spatial_loss::WeightTable;
-use crate::vocab::{Vocab, UNK};
+use crate::vocab::Vocab;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-use traj_data::augment::corrupt;
-use traj_data::{Dataset, Grid, Trajectory};
-use traj_cluster::{kmeans, KMeansConfig, Points};
+use rand::SeedableRng;
+use traj_data::{Dataset, Grid};
+use traj_nn::infer::Scratch;
 use traj_nn::optim::Adam;
-use traj_nn::{
-    student_t_assignment, target_distribution, GuardVerdict, NonFiniteGuard, ParamId,
-    ParamStore, Tape, Tensor,
-};
+use traj_nn::{student_t_assignment, ParamId, ParamStore, Tape, Tensor};
 
-/// Hard cap on guard rollbacks per `fit` call. Replaying an epoch from
-/// the same snapshot with the same RNG stream can reproduce the same
-/// non-finite batch when the instability is deterministic; the budget
-/// turns that pathology into an early stop instead of a livelock.
-const MAX_ROLLBACKS: usize = 8;
-
-/// Which phase an epoch record belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Phase {
-    /// Pre-training (reconstruction only).
-    Pretrain,
-    /// Self-training (joint loss).
-    SelfTrain,
-}
-
-impl Phase {
-    /// Wire name used in run-log epoch events.
-    pub fn wire_name(self) -> &'static str {
-        match self {
-            Phase::Pretrain => "pretrain",
-            Phase::SelfTrain => "selftrain",
-        }
-    }
-}
-
-/// One epoch of training history.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct EpochRecord {
-    /// Phase the epoch belongs to.
-    pub phase: Phase,
-    /// Epoch index within its phase.
-    pub epoch: usize,
-    /// Mean reconstruction loss `L_r` (over non-skipped batches).
-    pub recon_loss: f32,
-    /// Mean clustering loss `L_c` (0 when inactive).
-    pub cluster_loss: f32,
-    /// Mean triplet loss `L_t` (0 when inactive).
-    pub triplet_loss: f32,
-    /// Fraction of trajectories that changed cluster at the epoch start
-    /// (self-training only).
-    pub label_change: Option<f64>,
-    /// Mean pre-clip global gradient norm over applied optimizer steps
-    /// (0 when no step was applied). Pre-v3 records deserialize to 0.
-    #[serde(default)]
-    pub grad_norm: f32,
-    /// Learning rate in force during the epoch. Pre-v3 records
-    /// deserialize to 0.
-    #[serde(default)]
-    pub lr: f32,
-    /// Batches whose update was dropped by the non-finite guard.
-    #[serde(default)]
-    pub skipped_batches: usize,
-    /// Snapshot rollbacks consumed while (re)running this epoch.
-    #[serde(default)]
-    pub rollbacks: usize,
-}
-
-impl EpochRecord {
-    /// The record as a run-log event (see `traj_obs::event`).
-    pub fn to_event(&self) -> traj_obs::Event {
-        traj_obs::Event::Epoch {
-            phase: self.phase.wire_name().to_string(),
-            epoch: self.epoch as u64,
-            recon_loss: f64::from(self.recon_loss),
-            cluster_loss: f64::from(self.cluster_loss),
-            triplet_loss: f64::from(self.triplet_loss),
-            grad_norm: f64::from(self.grad_norm),
-            lr: f64::from(self.lr),
-            label_change: self.label_change,
-            skipped_batches: self.skipped_batches as u64,
-            rollbacks: self.rollbacks as u64,
-        }
-    }
-}
-
-/// Mid-training cursor carried inside format-v3 checkpoints: everything
-/// `fit` needs — beyond the model parameters themselves — to continue an
-/// interrupted run as if it had never stopped.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct TrainingState {
-    /// Phase of the next epoch to run.
-    pub phase: Phase,
-    /// Next epoch index within `phase`.
-    pub next_epoch: usize,
-    /// Completed epochs across both phases (names checkpoint files).
-    pub epochs_done: usize,
-    /// Accumulated per-epoch history.
-    pub history: Vec<EpochRecord>,
-    /// Previous self-training assignments (stop-rule state).
-    #[serde(default)]
-    pub prev_assign: Option<Vec<usize>>,
-    /// Captured RNG stream position (four xoshiro256++ state words).
-    pub rng: Vec<u64>,
-}
-
-impl TrainingState {
-    pub(crate) fn fresh() -> Self {
-        Self {
-            phase: Phase::Pretrain,
-            next_epoch: 0,
-            epochs_done: 0,
-            history: Vec::new(),
-            prev_assign: None,
-            rng: Vec::new(),
-        }
-    }
-}
-
-/// Outcome of one joint-loss mini-batch step.
-struct StepOutcome {
-    l_r: f32,
-    l_c: f32,
-    l_t: f32,
-    /// Pre-clip global gradient norm; 0 when the guard withheld the step.
-    grad_norm: f32,
-    verdict: GuardVerdict,
-}
-
-/// In-memory start-of-epoch snapshot the guard rolls back to. Never hits
-/// disk; durable recovery is the checkpoint file's job.
-struct Snapshot {
-    store: ParamStore,
-    opt: Adam,
-    rng: [u64; 4],
-    prev_assign: Option<Vec<usize>>,
-}
-
-/// Final output of [`E2dtc::fit`].
-#[derive(Clone, Debug)]
-pub struct FitResult {
-    /// Cluster id per trajectory (aligned with the input dataset).
-    pub assignments: Vec<usize>,
-    /// Flat `(n, hidden)` trajectory embeddings.
-    pub embeddings: Vec<f32>,
-    /// Embedding dimensionality.
-    pub embed_dim: usize,
-    /// Flat `(k, hidden)` final centroids.
-    pub centroids: Vec<f32>,
-    /// Per-epoch training history.
-    pub history: Vec<EpochRecord>,
-}
-
-/// Per-epoch observer callback: `(epoch, embeddings (n × hidden flat),
-/// current hard assignments)`. Used by the Fig. 5 learning-process
-/// experiment. Under a guard rollback the replayed epoch fires the
-/// callback again with the restored state.
-pub type EpochCallback<'a> = dyn FnMut(usize, &[f32], &[usize]) + 'a;
+pub use crate::trainer::{EpochCallback, EpochRecord, FitResult, Phase, TrainingState};
 
 /// The E²DTC model: seq2seq parameters, cluster centroids, vocabulary,
 /// and optimizer state.
@@ -344,524 +174,52 @@ impl E2dtc {
         self.cfg.checkpoint_keep_last = keep_last;
     }
 
-    /// Runs the full Algorithm 1: pre-training, centroid initialization,
-    /// self-training, final assignment. On a model returned by
-    /// [`E2dtc::resume`], continues the interrupted run instead of
-    /// starting over.
-    pub fn fit(&mut self, dataset: &Dataset) -> FitResult {
-        self.fit_with_callback(dataset, &mut |_, _, _| {})
-    }
-
-    /// [`E2dtc::fit`] with a per-self-training-epoch observer.
-    pub fn fit_with_callback(
-        &mut self,
-        dataset: &Dataset,
-        callback: &mut EpochCallback<'_>,
-    ) -> FitResult {
-        self.ensure_sequences(dataset);
-        let mut st = match self.pending.take() {
-            Some(s) => {
-                // Rejoin the interrupted run's RNG stream exactly where
-                // the checkpoint captured it.
-                self.rng = StdRng::restore(rng_state_from(&s.rng));
-                s
-            }
-            None => TrainingState::fresh(),
-        };
-        let mut guard = NonFiniteGuard::new(self.cfg.guard_patience);
-        let mut rollback_budget = MAX_ROLLBACKS;
-        let mut pending_rollbacks = 0usize;
-        let mut tape = Tape::new();
-        let fit_span = self.recorder.span("fit");
-
-        // — Phase 2: pre-training (skipped entirely when resuming past it) —
-        if st.phase == Phase::Pretrain {
-            let _phase_span = self.recorder.span("pretrain");
-            let mut epoch = st.next_epoch;
-            while epoch < self.cfg.pretrain_epochs {
-                let snap = self.snapshot(&st);
-                let (mut rec, rolled) =
-                    self.pretrain_epoch(dataset, &mut tape, epoch, &mut guard);
-                if rolled {
-                    if rollback_budget == 0 {
-                        self.recorder.warn(format!(
-                            "e2dtc: rollback budget exhausted during pre-training; \
-                             stopping early at epoch {epoch}"
-                        ));
-                        break;
-                    }
-                    rollback_budget -= 1;
-                    pending_rollbacks += 1;
-                    self.restore(&snap, &mut st, &mut guard);
-                    continue; // replay the same epoch from the snapshot
-                }
-                rec.rollbacks = std::mem::take(&mut pending_rollbacks);
-                self.recorder.emit(&rec.to_event());
-                st.history.push(rec);
-                st.epochs_done += 1;
-                st.next_epoch = epoch + 1;
-                self.maybe_checkpoint(&mut st);
-                epoch += 1;
-            }
-
-            if self.cfg.loss_mode == LossMode::L0 {
-                // Pre-training only: final clustering is plain k-means
-                // (this is simultaneously the paper's L0 ablation and the
-                // embedding half of the t2vec + k-means baseline).
-                let n = dataset.len();
-                let d = self.repr_dim();
-                let emb = self.embed_dataset(dataset);
-                let res = best_kmeans(
-                    emb.data(),
-                    n,
-                    d,
-                    self.cfg.k_clusters,
-                    self.cfg.seed ^ 0x6b6d65616e73,
-                );
-                callback(0, emb.data(), &res.assignment);
-                drop(fit_span);
-                self.finish_run();
-                return FitResult {
-                    assignments: res.assignment,
-                    embeddings: emb.into_vec(),
-                    embed_dim: d,
-                    centroids: res.centroids,
-                    history: st.history,
-                };
-            }
-
-            // Phase transition: seed the centroids and anneal the LR.
-            let _init_span = self.recorder.span("centroid_init");
-            let emb = self.embed_dataset(dataset);
-            self.init_centroids(&emb);
-            self.opt.set_lr(self.cfg.lr * self.cfg.selftrain_lr_scale);
-            st.phase = Phase::SelfTrain;
-            st.next_epoch = 0;
-        }
-
-        // — Phase 3: self-training (Algorithm 1, lines 3–10) —
-        let phase_span = self.recorder.span("selftrain");
-        let centroids_id =
-            self.centroids.expect("centroids exist after pre-training or resume");
-        let mut epoch = st.next_epoch;
-        while epoch < self.cfg.selftrain_epochs {
-            let snap = self.snapshot(&st);
-            // Epoch bookkeeping: Q, P, assignments, stopping rule.
-            let emb = self.embed_dataset(dataset);
-            let q = student_t_assignment(&emb, self.store.get(centroids_id));
-            let p = target_distribution(&q);
-            let assign = hard_assignment(&q);
-            let change =
-                st.prev_assign.as_ref().map(|prev| label_change_fraction(prev, &assign));
-            callback(epoch, emb.data(), &assign);
-            if let Some(c) = change {
-                if c <= self.cfg.delta {
-                    let rec = EpochRecord {
-                        phase: Phase::SelfTrain,
-                        epoch,
-                        recon_loss: 0.0,
-                        cluster_loss: 0.0,
-                        triplet_loss: 0.0,
-                        label_change: Some(c),
-                        grad_norm: 0.0,
-                        lr: self.opt.lr(),
-                        skipped_batches: 0,
-                        rollbacks: std::mem::take(&mut pending_rollbacks),
-                    };
-                    self.recorder.emit(&rec.to_event());
-                    self.recorder.info(format!(
-                        "self-training converged at epoch {epoch}: label change {c:.5} <= \
-                         delta {}",
-                        self.cfg.delta
-                    ));
-                    st.history.push(rec);
-                    break;
-                }
-            }
-            st.prev_assign = Some(assign.clone());
-
-            // One pass of joint training.
-            let batches = self.make_batches(dataset.len());
-            let (mut sum_r, mut sum_c, mut sum_t) = (0.0f64, 0.0f64, 0.0f64);
-            let mut sum_norm = 0.0f64;
-            let mut count = 0usize;
-            let mut skipped = 0usize;
-            let mut rolled = false;
-            let mut batch_ms = self.recorder.enabled().then(traj_obs::Histogram::new);
-            for batch in &batches {
-                let t0 = batch_ms.is_some().then(std::time::Instant::now);
-                let negatives = mine_negatives(batch, &assign, &emb);
-                let step = self.joint_step(
-                    &mut tape,
-                    dataset,
-                    batch,
-                    &p,
-                    centroids_id,
-                    &negatives,
-                    &mut guard,
-                );
-                if let (Some(h), Some(t0)) = (batch_ms.as_mut(), t0) {
-                    h.record(t0.elapsed().as_secs_f64() * 1e3);
-                }
-                match step.verdict {
-                    GuardVerdict::Proceed => {
-                        sum_r += step.l_r as f64;
-                        sum_c += step.l_c as f64;
-                        sum_t += step.l_t as f64;
-                        sum_norm += step.grad_norm as f64;
-                        count += 1;
-                    }
-                    GuardVerdict::Skip => skipped += 1,
-                    GuardVerdict::Rollback => {
-                        skipped += 1;
-                        rolled = true;
-                        break;
-                    }
-                }
-            }
-            if rolled {
-                if rollback_budget == 0 {
-                    self.recorder.warn(format!(
-                        "e2dtc: rollback budget exhausted during self-training; \
-                         stopping early at epoch {epoch}"
-                    ));
-                    break;
-                }
-                rollback_budget -= 1;
-                pending_rollbacks += 1;
-                self.restore(&snap, &mut st, &mut guard);
-                continue; // replay the same epoch from the snapshot
-            }
-            if let Some(h) = &batch_ms {
-                self.recorder.histogram("selftrain.batch_ms", h);
-            }
-            let rec = EpochRecord {
-                phase: Phase::SelfTrain,
-                epoch,
-                recon_loss: (sum_r / count.max(1) as f64) as f32,
-                cluster_loss: (sum_c / count.max(1) as f64) as f32,
-                triplet_loss: (sum_t / count.max(1) as f64) as f32,
-                label_change: change,
-                grad_norm: (sum_norm / count.max(1) as f64) as f32,
-                lr: self.opt.lr(),
-                skipped_batches: skipped,
-                rollbacks: std::mem::take(&mut pending_rollbacks),
-            };
-            self.recorder.emit(&rec.to_event());
-            st.history.push(rec);
-            st.epochs_done += 1;
-            st.next_epoch = epoch + 1;
-            self.maybe_checkpoint(&mut st);
-            epoch += 1;
-        }
-        drop(phase_span);
-
-        // Final assignment with the trained parameters.
-        let emb = self.embed_dataset(dataset);
-        let q = student_t_assignment(&emb, self.store.get(centroids_id));
-        drop(fit_span);
-        self.finish_run();
-        FitResult {
-            assignments: hard_assignment(&q),
-            embed_dim: emb.cols(),
-            embeddings: emb.into_vec(),
-            centroids: self.store.get(centroids_id).data().to_vec(),
-            history: st.history,
-        }
-    }
-
-    /// End-of-run telemetry: kernel counter snapshots, then a flush so a
-    /// crash after `fit` cannot lose buffered run-log lines.
-    fn finish_run(&self) {
-        if !self.recorder.enabled() {
-            return;
-        }
-        let nn = traj_nn::telemetry::counters();
-        self.recorder.counters(&nn);
-        self.recorder.flush();
-    }
-
-    /// Phase 2: corrupt-and-reconstruct pre-training (Algorithm 1,
-    /// lines 1–2). Each epoch draws one random `(r1, r2)` corruption per
-    /// trajectory from the configured rate grids (the paper's 16-pair
-    /// sweep, sampled across epochs instead of materialized at once).
-    ///
-    /// Non-finite batches are skipped (no parameter update); standalone
-    /// pre-training keeps no snapshot, so the guard never rolls back here
-    /// — that escalation belongs to [`E2dtc::fit`].
-    pub fn pretrain(&mut self, dataset: &Dataset, epochs: usize) -> Vec<EpochRecord> {
-        self.ensure_sequences(dataset);
-        let mut history = Vec::with_capacity(epochs);
-        // One tape reused across every batch: clear() keeps the node
-        // buffer's allocation, so steady-state batches allocate no graph.
-        let mut tape = Tape::new();
-        let mut guard = NonFiniteGuard::new(0);
-        for epoch in 0..epochs {
-            let (rec, _) = self.pretrain_epoch(dataset, &mut tape, epoch, &mut guard);
-            history.push(rec);
-        }
-        history
-    }
-
-    /// One pre-training epoch. Returns the record and whether the guard
-    /// requested a rollback (in which case the epoch aborted mid-way and
-    /// the record must be discarded).
-    fn pretrain_epoch(
-        &mut self,
-        dataset: &Dataset,
-        tape: &mut Tape,
-        epoch: usize,
-        guard: &mut NonFiniteGuard,
-    ) -> (EpochRecord, bool) {
-        let batches = self.make_batches(dataset.len());
-        let mut total = 0.0f64;
-        let mut sum_norm = 0.0f64;
-        let mut count = 0usize;
-        let mut skipped = 0usize;
-        let mut rolled = false;
-        let mut batch_ms = self.recorder.enabled().then(traj_obs::Histogram::new);
-        for batch in &batches {
-            let t0 = batch_ms.is_some().then(std::time::Instant::now);
-            let (inputs, targets) = self.corrupted_batch(dataset, batch);
-            tape.clear();
-            let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
-            let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
-            let enc = self.model.encode(tape, &self.store, &input_refs, true, &mut self.rng);
-            let loss = self.model.reconstruction_loss(
-                tape,
-                &self.store,
-                &enc,
-                &target_refs,
-                &self.weights,
-                true,
-                &mut self.rng,
-            );
-            let loss_val = self.observe_loss(tape.value(loss).get(0, 0));
-            tape.backward(loss, &mut self.store);
-            let verdict = guard.observe(loss_val, &self.store);
-            if let (Some(h), Some(t0)) = (batch_ms.as_mut(), t0) {
-                h.record(t0.elapsed().as_secs_f64() * 1e3);
-            }
-            match verdict {
-                GuardVerdict::Proceed => {
-                    sum_norm += self.opt.step(&mut self.store) as f64;
-                    total += loss_val as f64;
-                    count += 1;
-                }
-                GuardVerdict::Skip => {
-                    self.store.zero_grads();
-                    skipped += 1;
-                }
-                GuardVerdict::Rollback => {
-                    self.store.zero_grads();
-                    skipped += 1;
-                    rolled = true;
-                    break;
-                }
-            }
-        }
-        if let Some(h) = &batch_ms {
-            if !rolled {
-                self.recorder.histogram("pretrain.batch_ms", h);
-            }
-        }
-        let rec = EpochRecord {
-            phase: Phase::Pretrain,
-            epoch,
-            recon_loss: (total / count.max(1) as f64) as f32,
-            cluster_loss: 0.0,
-            triplet_loss: 0.0,
-            label_change: None,
-            grad_norm: (sum_norm / count.max(1) as f64) as f32,
-            lr: self.opt.lr(),
-            skipped_batches: skipped,
-            rollbacks: 0,
-        };
-        (rec, rolled)
-    }
-
     /// Embeds every trajectory of `dataset` (inference; no parameter
-    /// updates). Returns an `(n, hidden)` tensor aligned with the dataset.
-    pub fn embed_dataset(&mut self, dataset: &Dataset) -> Tensor {
+    /// updates, no RNG consumption). Returns an `(n, hidden)` tensor
+    /// aligned with the dataset. Runs the tape-free forward — values are
+    /// bit-identical to the training path's.
+    pub fn embed_dataset(&self, dataset: &Dataset) -> Tensor {
         let sequences = self.dataset_sequences(dataset);
-        let n = sequences.len();
-        let d = self.repr_dim();
-        let mut out = Tensor::zeros(n, d);
-        let mut tape = Tape::new();
-        for batch in self.make_batches_for(&sequences) {
-            tape.clear();
-            let refs: Vec<&[usize]> =
-                batch.iter().map(|&i| sequences[i].as_slice()).collect();
-            let enc = self.model.encode(&mut tape, &self.store, &refs, false, &mut self.rng);
-            let repr = tape.value(enc.repr);
-            for (row, &i) in batch.iter().enumerate() {
-                out.row_mut(i).copy_from_slice(repr.row(row));
-            }
-        }
-        out
-    }
-
-    /// Initializes the cluster centroids by k-means over the embeddings
-    /// (paper §V-C, last paragraph). Re-initializes if called again.
-    pub fn init_centroids(&mut self, embeddings: &Tensor) {
-        let n = embeddings.rows();
-        let d = embeddings.cols();
-        let res =
-            best_kmeans(embeddings.data(), n, d, self.cfg.k_clusters, self.cfg.seed ^ 0x63656e74);
-        let tensor = Tensor::from_vec(self.cfg.k_clusters, d, res.centroids);
-        match self.centroids {
-            Some(id) => *self.store.get_mut(id) = tensor,
-            None => self.centroids = Some(self.store.add("centroids", tensor)),
-        }
-    }
-
-    /// One joint-loss mini-batch: `L_r + β·L_c + γ·L_t` per the active
-    /// [`LossMode`]. `negatives[row]` is the batch-row index of the mined
-    /// triplet negative for anchor `row`. Returns the three loss values,
-    /// the pre-clip gradient norm, and the guard's verdict (the optimizer
-    /// step is applied only on [`GuardVerdict::Proceed`]).
-    #[allow(clippy::too_many_arguments)]
-    fn joint_step(
-        &mut self,
-        tape: &mut Tape,
-        dataset: &Dataset,
-        batch: &[usize],
-        p: &Tensor,
-        centroids_id: ParamId,
-        negatives: &[usize],
-        guard: &mut NonFiniteGuard,
-    ) -> StepOutcome {
-        let (inputs, targets) = self.corrupted_batch(dataset, batch);
-        tape.clear();
-        let input_refs: Vec<&[usize]> = inputs.iter().map(Vec::as_slice).collect();
-        let target_refs: Vec<&[usize]> = targets.iter().map(Vec::as_slice).collect();
-
-        // Anchor embeddings from the *original* sequences; positives from
-        // the corrupted variants (which also drive reconstruction).
-        let enc_orig =
-            self.model.encode(tape, &self.store, &target_refs, true, &mut self.rng);
-        let enc_corr =
-            self.model.encode(tape, &self.store, &input_refs, true, &mut self.rng);
-        let l_r = self.model.reconstruction_loss(
-            tape,
+        let mut scratch = Scratch::new();
+        crate::encoder::embed_tokenized(
+            &self.model,
             &self.store,
-            &enc_corr,
-            &target_refs,
-            &self.weights,
-            true,
-            &mut self.rng,
-        );
-        let mut total = l_r;
-        let lr_val = tape.value(l_r).get(0, 0);
-        let mut lc_val = 0.0;
-        let mut lt_val = 0.0;
-
-        if matches!(self.cfg.loss_mode, LossMode::L1 | LossMode::L2) {
-            // Batch rows of the (epoch-fixed) target distribution P.
-            let k = p.cols();
-            let mut p_batch = Tensor::zeros(batch.len(), k);
-            for (row, &i) in batch.iter().enumerate() {
-                p_batch.row_mut(row).copy_from_slice(p.row(i));
-            }
-            let cvar = tape.param(&self.store, centroids_id);
-            let l_c = tape.dec_kl(enc_orig.repr, cvar, p_batch);
-            lc_val = tape.value(l_c).get(0, 0);
-            let scaled = tape.scale(l_c, self.cfg.beta);
-            total = tape.add(total, scaled);
-        }
-        if self.cfg.loss_mode == LossMode::L2 && batch.len() >= 2 {
-            let neg_rows = tape.gather_rows(enc_orig.repr, negatives);
-            let l_t = tape.triplet(
-                enc_orig.repr,
-                enc_corr.repr,
-                neg_rows,
-                self.cfg.triplet_margin,
-            );
-            lt_val = tape.value(l_t).get(0, 0);
-            let scaled = tape.scale(l_t, self.cfg.gamma);
-            total = tape.add(total, scaled);
-        }
-
-        let total_val = self.observe_loss(tape.value(total).get(0, 0));
-        tape.backward(total, &mut self.store);
-        let verdict = guard.observe(total_val, &self.store);
-        let mut grad_norm = 0.0;
-        match verdict {
-            GuardVerdict::Proceed => {
-                grad_norm = self.opt.step(&mut self.store);
-            }
-            GuardVerdict::Skip | GuardVerdict::Rollback => self.store.zero_grads(),
-        }
-        StepOutcome { l_r: lr_val, l_c: lc_val, l_t: lt_val, grad_norm, verdict }
+            &sequences,
+            self.cfg.batch_size,
+            &mut scratch,
+        )
     }
 
-    /// Fault-injection seam: the batch loss as the guard will see it.
-    /// With the `fault-injection` feature an installed [`crate::fault::FaultPlan`]
-    /// may replace it with NaN; in production builds this is the identity.
-    #[allow(unused_mut)]
-    fn observe_loss(&mut self, loss: f32) -> f32 {
-        #[cfg(feature = "fault-injection")]
-        if let Some(plan) = self.fault.as_mut() {
-            if plan.poison_next_loss() {
-                return f32::NAN;
-            }
-        }
-        loss
+    /// Soft cluster assignment `Q` for a dataset under the trained model.
+    ///
+    /// # Panics
+    /// Panics if called before centroids exist.
+    pub fn soft_assignment(&self, dataset: &Dataset) -> Tensor {
+        let id = self.centroids.expect("model has no centroids yet — run fit first");
+        let emb = self.embed_dataset(dataset);
+        student_t_assignment(&emb, self.store.get(id))
     }
 
-    /// Captures the in-memory rollback target: parameters, optimizer,
-    /// RNG position, and stop-rule state at the start of an epoch.
-    fn snapshot(&self, st: &TrainingState) -> Snapshot {
-        Snapshot {
-            store: self.store.clone(),
-            opt: self.opt.clone(),
-            rng: self.rng.state(),
-            prev_assign: st.prev_assign.clone(),
-        }
+    /// Hard cluster assignment for a (possibly new) dataset — the paper's
+    /// "once finely trained, it can be efficiently adopted for trajectory
+    /// clustering requests" inference path.
+    pub fn assign(&self, dataset: &Dataset) -> Vec<usize> {
+        hard_assignment(&self.soft_assignment(dataset))
     }
 
-    /// Restores a start-of-epoch snapshot and applies the learning-rate
-    /// backoff — the recovery half of the guard protocol.
-    fn restore(&mut self, snap: &Snapshot, st: &mut TrainingState, guard: &mut NonFiniteGuard) {
-        self.store = snap.store.clone();
-        self.opt = snap.opt.clone();
-        self.opt.set_lr(self.opt.lr() * self.cfg.effective_lr_backoff());
-        self.rng = StdRng::restore(snap.rng);
-        st.prev_assign = snap.prev_assign.clone();
-        guard.reset_streak();
-    }
-
-    /// Writes a periodic training checkpoint when the policy says so.
-    /// Checkpoint failures never kill training: the run that is being
-    /// protected must not die because its protection hiccuped.
-    fn maybe_checkpoint(&mut self, st: &mut TrainingState) {
-        if self.cfg.checkpoint_every == 0
-            || st.epochs_done % self.cfg.checkpoint_every != 0
-        {
-            return;
-        }
-        let Some(dir) = self.cfg.checkpoint_dir.clone() else { return };
-        let dir = std::path::PathBuf::from(dir);
-        if let Err(e) = std::fs::create_dir_all(&dir) {
-            self.recorder
-                .warn(format!("e2dtc: cannot create checkpoint dir {}: {e}", dir.display()));
-            return;
-        }
-        st.rng = self.rng.state().to_vec();
-        let path = dir.join(crate::persist::checkpoint_file_name(st.epochs_done));
-        match self.save_checkpoint(&path, st) {
-            Ok(()) => {
-                if let Err(e) =
-                    crate::persist::rotate_checkpoints(&dir, self.cfg.checkpoint_keep_last)
-                {
-                    self.recorder.warn(format!("e2dtc: checkpoint rotation failed: {e}"));
-                }
-            }
-            Err(e) => {
-                self.recorder
-                    .warn(format!("e2dtc: checkpoint write failed ({e}); training continues"));
-            }
-        }
+    /// Extracts an immutable, `Send + Sync` inference engine: the trained
+    /// encoder, grid, vocabulary, and (when present) centroids — no
+    /// optimizer state, no tape, no RNG. Share it across threads behind
+    /// an `Arc` (see the `traj-query` crate).
+    pub fn freeze(&self) -> FrozenEncoder {
+        FrozenEncoder::from_parts(
+            self.cfg.clone(),
+            self.grid.clone(),
+            self.vocab.clone(),
+            self.store.clone(),
+            self.model.clone(),
+            self.centroids.map(|id| self.store.get(id).clone()),
+        )
     }
 
     /// Autoencoder round-trip: encodes each trajectory and greedily
@@ -900,183 +258,12 @@ impl E2dtc {
         }
         out
     }
-
-    /// Soft cluster assignment `Q` for a dataset under the trained model.
-    ///
-    /// # Panics
-    /// Panics if called before centroids exist.
-    pub fn soft_assignment(&mut self, dataset: &Dataset) -> Tensor {
-        let id = self.centroids.expect("model has no centroids yet — run fit first");
-        let emb = self.embed_dataset(dataset);
-        student_t_assignment(&emb, self.store.get(id))
-    }
-
-    /// Hard cluster assignment for a (possibly new) dataset — the paper's
-    /// "once finely trained, it can be efficiently adopted for trajectory
-    /// clustering requests" inference path.
-    pub fn assign(&mut self, dataset: &Dataset) -> Vec<usize> {
-        hard_assignment(&self.soft_assignment(dataset))
-    }
-
-    /// Re-tokenizes `dataset` into `self.sequences` when they are absent
-    /// or misaligned (e.g. after [`E2dtc::load`], or when training moves
-    /// to a different dataset).
-    fn ensure_sequences(&mut self, dataset: &Dataset) {
-        if self.sequences.len() != dataset.len() {
-            self.sequences = self.dataset_sequences(dataset);
-        }
-    }
-
-    /// Tokenizes an arbitrary dataset with the *training* grid/vocabulary
-    /// (unknown cells become `UNK`).
-    fn dataset_sequences(&self, dataset: &Dataset) -> Vec<Vec<usize>> {
-        dataset
-            .trajectories
-            .iter()
-            .map(|t| {
-                let seq = self.vocab.encode_trajectory(&self.grid, t, self.cfg.max_seq_len);
-                if seq.is_empty() {
-                    vec![UNK]
-                } else {
-                    seq
-                }
-            })
-            .collect()
-    }
-
-    /// Index batches sorted by sequence length (minimizes padding), with
-    /// shuffled batch order.
-    fn make_batches(&mut self, n: usize) -> Vec<Vec<usize>> {
-        let lens: Vec<usize> = (0..n).map(|i| self.sequences[i].len()).collect();
-        self.batches_from_lens(&lens)
-    }
-
-    fn make_batches_for(&mut self, sequences: &[Vec<usize>]) -> Vec<Vec<usize>> {
-        let lens: Vec<usize> = sequences.iter().map(Vec::len).collect();
-        self.batches_from_lens(&lens)
-    }
-
-    fn batches_from_lens(&mut self, lens: &[usize]) -> Vec<Vec<usize>> {
-        let mut idx: Vec<usize> = (0..lens.len()).collect();
-        idx.sort_by_key(|&i| lens[i]);
-        let mut batches: Vec<Vec<usize>> = idx
-            .chunks(self.cfg.batch_size.max(1))
-            .map(|c| c.to_vec())
-            .collect();
-        // Shuffle batch order (Fisher–Yates).
-        for i in (1..batches.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
-            batches.swap(i, j);
-        }
-        batches
-    }
-
-    /// Corrupts each batch trajectory with a random `(r1, r2)` draw and
-    /// returns `(corrupted token sequences, original token sequences)`.
-    fn corrupted_batch(
-        &mut self,
-        dataset: &Dataset,
-        batch: &[usize],
-    ) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
-        let mut inputs = Vec::with_capacity(batch.len());
-        for &i in batch {
-            let t: &Trajectory = &dataset.trajectories[i];
-            let r1 = *pick(&self.cfg.augment.drop_rates, &mut self.rng);
-            let r2 = *pick(&self.cfg.augment.distort_rates, &mut self.rng);
-            let corrupted = corrupt(t, r1, r2, self.cfg.augment.noise_std_m, &mut self.rng);
-            let mut seq =
-                self.vocab.encode_trajectory(&self.grid, &corrupted, self.cfg.max_seq_len);
-            if seq.is_empty() {
-                seq.push(UNK);
-            }
-            inputs.push(seq);
-        }
-        let targets: Vec<Vec<usize>> =
-            batch.iter().map(|&i| self.sequences[i].clone()).collect();
-        (inputs, targets)
-    }
-}
-
-#[cfg(feature = "fault-injection")]
-impl E2dtc {
-    /// Installs a test-only fault plan; subsequent training batches and
-    /// checkpoint saves consult it. See [`crate::fault`].
-    pub fn set_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
-        self.fault = Some(plan);
-    }
-
-    /// Removes and returns the installed fault plan.
-    pub fn take_fault_plan(&mut self) -> Option<crate::fault::FaultPlan> {
-        self.fault.take()
-    }
-}
-
-/// Rebuilds the RNG state array from checkpointed words (zero-padded when
-/// short; `StdRng::restore` rejects the degenerate all-zero state).
-pub(crate) fn rng_state_from(words: &[u64]) -> [u64; 4] {
-    let mut s = [0u64; 4];
-    for (d, &w) in s.iter_mut().zip(words) {
-        *d = w;
-    }
-    s
-}
-
-/// Hard-negative mining for the triplet loss: for each anchor, the
-/// nearest batch member currently assigned to a different cluster (falls
-/// back to the next row when the batch is single-cluster).
-fn mine_negatives(batch: &[usize], assign: &[usize], emb: &Tensor) -> Vec<usize> {
-    batch
-        .iter()
-        .enumerate()
-        .map(|(row, &i)| {
-            batch
-                .iter()
-                .enumerate()
-                .filter(|&(r2, &j)| r2 != row && assign[j] != assign[i])
-                .min_by(|&(_, &a), &(_, &b)| {
-                    emb.row_sq_dist(i, emb, a).total_cmp(&emb.row_sq_dist(i, emb, b))
-                })
-                .map(|(r2, _)| r2)
-                .unwrap_or((row + 1) % batch.len())
-        })
-        .collect()
-}
-
-fn pick<'a, T>(xs: &'a [T], rng: &mut impl Rng) -> &'a T {
-    &xs[rng.gen_range(0..xs.len())]
-}
-
-/// Multi-restart k-means (8 seeded restarts, best inertia kept). Both the
-/// centroid initialization and the `t2vec + k-means` / `L0` final
-/// clustering use this to keep init variance from dominating results.
-fn best_kmeans(
-    data: &[f32],
-    n: usize,
-    d: usize,
-    k: usize,
-    seed: u64,
-) -> traj_cluster::KMeansResult {
-    (0..8)
-        .map(|r| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r));
-            kmeans(Points::new(data, n, d), KMeansConfig::new(k), &mut rng)
-        })
-        .min_by(|a, b| a.inertia.total_cmp(&b.inertia))
-        .expect("at least one restart")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use traj_data::SynthSpec;
-
-    fn tiny_city(n: usize, k: usize) -> traj_data::GeneratedCity {
-        let mut spec = SynthSpec::hangzhou_like(n, 99);
-        spec.num_clusters = k;
-        spec.len_range = (8, 16);
-        spec.outlier_fraction = 0.0;
-        spec.generate()
-    }
+    use crate::test_util::tiny_city;
 
     #[test]
     fn construction_builds_vocab_and_params() {
@@ -1088,26 +275,9 @@ mod tests {
     }
 
     #[test]
-    fn pretrain_reduces_reconstruction_loss() {
-        let city = tiny_city(40, 3);
-        let mut cfg = E2dtcConfig::tiny(3);
-        cfg.lr = 5e-3;
-        let mut model = E2dtc::new(&city.dataset, cfg);
-        let history = model.pretrain(&city.dataset, 4);
-        assert_eq!(history.len(), 4);
-        let first = history.first().expect("non-empty").recon_loss;
-        let last = history.last().expect("non-empty").recon_loss;
-        assert!(
-            last < first,
-            "pre-training loss did not drop: {first} -> {last}"
-        );
-        assert!(history.iter().all(|r| r.skipped_batches == 0 && r.rollbacks == 0));
-    }
-
-    #[test]
     fn embed_dataset_is_aligned_and_finite() {
         let city = tiny_city(25, 3);
-        let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+        let model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
         let emb = model.embed_dataset(&city.dataset);
         assert_eq!(emb.shape(), (25, model.repr_dim()));
         assert!(!emb.has_non_finite());
@@ -1121,37 +291,12 @@ mod tests {
     }
 
     #[test]
-    fn fit_produces_k_clusters_and_history() {
-        let city = tiny_city(40, 3);
-        let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
-        let fit = model.fit(&city.dataset);
-        assert_eq!(fit.assignments.len(), 40);
-        assert!(fit.assignments.iter().all(|&c| c < 3));
-        assert_eq!(fit.embeddings.len(), 40 * model.repr_dim());
-        assert_eq!(fit.centroids.len(), 3 * model.repr_dim());
-        assert!(fit.history.iter().any(|r| r.phase == Phase::Pretrain));
-        assert!(fit.history.iter().any(|r| r.phase == Phase::SelfTrain));
-        // A healthy run triggers no guard activity.
-        assert!(fit.history.iter().all(|r| r.skipped_batches == 0 && r.rollbacks == 0));
-    }
-
-    #[test]
-    fn l0_mode_skips_self_training() {
-        let city = tiny_city(30, 3);
-        let cfg = E2dtcConfig::tiny(3).with_loss_mode(LossMode::L0);
-        let mut model = E2dtc::new(&city.dataset, cfg);
-        let fit = model.fit(&city.dataset);
-        assert!(fit.history.iter().all(|r| r.phase == Phase::Pretrain));
-        assert_eq!(fit.assignments.len(), 30);
-    }
-
-    #[test]
     fn assign_works_on_unseen_data() {
         let city = tiny_city(30, 3);
         let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
         let _ = model.fit(&city.dataset);
         // A fresh sample from the same generator (different seed).
-        let mut spec2 = SynthSpec::hangzhou_like(10, 123);
+        let mut spec2 = traj_data::SynthSpec::hangzhou_like(10, 123);
         spec2.num_clusters = 3;
         spec2.len_range = (8, 16);
         spec2.outlier_fraction = 0.0;
@@ -1162,39 +307,12 @@ mod tests {
     }
 
     #[test]
-    fn callback_fires_every_selftrain_epoch() {
-        let city = tiny_city(25, 2);
-        let mut cfg = E2dtcConfig::tiny(2);
-        cfg.selftrain_epochs = 2;
-        cfg.delta = 0.0;
-        let mut model = E2dtc::new(&city.dataset, cfg);
-        let mut epochs = Vec::new();
-        let _ = model.fit_with_callback(&city.dataset, &mut |e, emb, asg| {
-            epochs.push(e);
-            assert_eq!(emb.len(), 25 * 24);
-            assert_eq!(asg.len(), 25);
-        });
-        assert!(!epochs.is_empty());
-        assert_eq!(epochs[0], 0);
-    }
-
-    #[test]
-    fn same_seed_fit_is_deterministic() {
-        // The resume guarantee rests on this: two identically-seeded runs
-        // produce identical assignments and history.
-        let city = tiny_city(30, 3);
-        let mut m1 = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
-        let mut m2 = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
-        let f1 = m1.fit(&city.dataset);
-        let f2 = m2.fit(&city.dataset);
-        assert_eq!(f1.assignments, f2.assignments);
-        assert_eq!(f1.embeddings, f2.embeddings);
-        assert_eq!(f1.history.len(), f2.history.len());
-    }
-
-    #[test]
-    fn rng_state_from_pads_short_input() {
-        assert_eq!(rng_state_from(&[1, 2]), [1, 2, 0, 0]);
-        assert_eq!(rng_state_from(&[1, 2, 3, 4, 5]), [1, 2, 3, 4]);
+    fn freeze_requires_no_centroids_for_embedding() {
+        let city = tiny_city(20, 2);
+        let model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(2));
+        let frozen = model.freeze();
+        assert!(frozen.centroids().is_none());
+        let emb = frozen.embed_dataset(&city.dataset);
+        assert_eq!(emb.shape(), (20, model.repr_dim()));
     }
 }

@@ -38,9 +38,11 @@
 //! pins this invariant).
 
 use crate::config::E2dtcConfig;
-use crate::model::{rng_state_from, E2dtc, TrainingState};
+use crate::encoder::FrozenEncoder;
+use crate::model::{E2dtc, TrainingState};
 use crate::seq2seq::Seq2Seq;
 use crate::spatial_loss::WeightTable;
+use crate::trainer::rng_state_from;
 use crate::vocab::Vocab;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -368,6 +370,131 @@ fn migrate_v1_store(old: &ParamStore) -> Result<ParamStore, PersistError> {
     Ok(fused)
 }
 
+/// Fully-validated checkpoint contents, ready to assemble into either a
+/// trainable [`E2dtc`] or an inference-only [`FrozenEncoder`].
+struct LoadedParts {
+    cfg: E2dtcConfig,
+    grid: Grid,
+    vocab: Vocab,
+    weights: WeightTable,
+    store: ParamStore,
+    model: Seq2Seq,
+    centroids: Option<ParamId>,
+    opt: Adam,
+    training: Option<TrainingState>,
+}
+
+/// Reads, verifies, migrates (v1 → fused), and validates a checkpoint
+/// file — the shared loading path behind [`E2dtc::load`] and
+/// [`FrozenEncoder::from_checkpoint`].
+fn load_parts(path: &Path) -> Result<LoadedParts, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let payload = verify_and_strip_header(&bytes)?;
+    let payload = std::str::from_utf8(payload)
+        .map_err(|_| PersistError::Json("payload is not UTF-8".into()))?;
+    let saved: SavedModel =
+        serde_json::from_str(payload).map_err(|e| PersistError::Json(e.to_string()))?;
+
+    let (store, opt) = match saved.format_version {
+        2 | 3 => (saved.store, saved.opt),
+        1 => {
+            // Pre-fusion checkpoint: fuse the per-gate GRU tensors.
+            // The parameter layout changes, so Adam's per-slot moment
+            // buffers no longer line up; restart the optimizer state
+            // (weights are preserved exactly, only momentum is lost).
+            let store = migrate_v1_store(&saved.store)?;
+            let opt = Adam::new(saved.config.lr).with_max_grad_norm(saved.config.max_grad_norm);
+            (store, opt)
+        }
+        v => return Err(PersistError::UnsupportedVersion(v)),
+    };
+
+    // Rebuild the architecture in a scratch store: parameter ids are
+    // assigned in deterministic registration order, so the layer
+    // handles line up with the saved store's slots — and the scratch
+    // names/shapes are the authority the file is validated against.
+    let mut scratch = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(saved.config.seed);
+    let placeholder = Tensor::zeros(saved.vocab.size(), saved.config.embed_dim);
+    let model = Seq2Seq::with_options(
+        &mut scratch,
+        placeholder,
+        saved.config.hidden_dim,
+        saved.config.layers,
+        saved.config.attention,
+        &mut rng,
+    );
+    let expected = scratch.len() + usize::from(saved.has_centroids);
+    if store.len() != expected {
+        return Err(PersistError::ParamCountMismatch { saved: store.len(), expected });
+    }
+    for (slot, id) in scratch.ids().enumerate() {
+        let saved_id = store.ids().nth(slot).expect("count checked above");
+        let (name, want) = (scratch.name(id), scratch.get(id).shape());
+        let got = store.get(saved_id).shape();
+        if store.name(saved_id) != name || got != want {
+            return Err(PersistError::ShapeMismatch {
+                name: name.to_string(),
+                saved: got,
+                expected: want,
+            });
+        }
+    }
+    if saved.has_centroids {
+        let id = store.ids().last().expect("store non-empty");
+        let got = store.get(id).shape();
+        let want = (saved.config.k_clusters, saved.config.hidden_dim);
+        if got != want {
+            return Err(PersistError::ShapeMismatch {
+                name: store.name(id).to_string(),
+                saved: got,
+                expected: want,
+            });
+        }
+    }
+    if let Some(name) = store.first_non_finite_param() {
+        return Err(PersistError::NonFiniteParam(name.to_string()));
+    }
+    if let Some(st) = &saved.training {
+        if st.rng.len() != 4 {
+            return Err(PersistError::BadRngState(st.rng.len()));
+        }
+    }
+
+    let centroids = saved.has_centroids.then(|| store.ids().last().expect("store non-empty"));
+    Ok(LoadedParts {
+        cfg: saved.config,
+        grid: saved.grid,
+        vocab: saved.vocab,
+        weights: saved.weights,
+        store,
+        model,
+        centroids,
+        opt,
+        training: saved.training,
+    })
+}
+
+impl FrozenEncoder {
+    /// Loads an inference-only encoder straight from a checkpoint file
+    /// (any format version; v1 stores are migrated). Optimizer state, the
+    /// spatial weight table, and any training cursor in the file are
+    /// dropped — nothing a query path needs is kept mutable, so the
+    /// result is `Send + Sync` without further ceremony.
+    pub fn from_checkpoint(path: impl AsRef<Path>) -> Result<FrozenEncoder, PersistError> {
+        let parts = load_parts(path.as_ref())?;
+        let centroids = parts.centroids.map(|id| parts.store.get(id).clone());
+        Ok(FrozenEncoder::from_parts(
+            parts.cfg,
+            parts.grid,
+            parts.vocab,
+            parts.store,
+            parts.model,
+            centroids,
+        ))
+    }
+}
+
 impl E2dtc {
     /// Serializes the trained model (no training cursor) in format v3:
     /// checksummed header + JSON payload, written atomically.
@@ -438,99 +565,24 @@ impl E2dtc {
     /// training cursor, if present, makes `fit` continue the interrupted
     /// run).
     pub fn load(path: impl AsRef<Path>) -> Result<E2dtc, PersistError> {
-        let bytes = std::fs::read(path.as_ref())?;
-        let payload = verify_and_strip_header(&bytes)?;
-        let payload = std::str::from_utf8(payload)
-            .map_err(|_| PersistError::Json("payload is not UTF-8".into()))?;
-        let saved: SavedModel =
-            serde_json::from_str(payload).map_err(|e| PersistError::Json(e.to_string()))?;
-
-        let (store, opt) = match saved.format_version {
-            2 | 3 => (saved.store, saved.opt),
-            1 => {
-                // Pre-fusion checkpoint: fuse the per-gate GRU tensors.
-                // The parameter layout changes, so Adam's per-slot moment
-                // buffers no longer line up; restart the optimizer state
-                // (weights are preserved exactly, only momentum is lost).
-                let store = migrate_v1_store(&saved.store)?;
-                let opt =
-                    Adam::new(saved.config.lr).with_max_grad_norm(saved.config.max_grad_norm);
-                (store, opt)
-            }
-            v => return Err(PersistError::UnsupportedVersion(v)),
-        };
-
-        // Rebuild the architecture in a scratch store: parameter ids are
-        // assigned in deterministic registration order, so the layer
-        // handles line up with the saved store's slots — and the scratch
-        // names/shapes are the authority the file is validated against.
-        let mut scratch = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(saved.config.seed);
-        let placeholder = Tensor::zeros(saved.vocab.size(), saved.config.embed_dim);
-        let model = Seq2Seq::with_options(
-            &mut scratch,
-            placeholder,
-            saved.config.hidden_dim,
-            saved.config.layers,
-            saved.config.attention,
-            &mut rng,
-        );
-        let expected = scratch.len() + usize::from(saved.has_centroids);
-        if store.len() != expected {
-            return Err(PersistError::ParamCountMismatch { saved: store.len(), expected });
-        }
-        for (slot, id) in scratch.ids().enumerate() {
-            let saved_id = store.ids().nth(slot).expect("count checked above");
-            let (name, want) = (scratch.name(id), scratch.get(id).shape());
-            let got = store.get(saved_id).shape();
-            if store.name(saved_id) != name || got != want {
-                return Err(PersistError::ShapeMismatch {
-                    name: name.to_string(),
-                    saved: got,
-                    expected: want,
-                });
-            }
-        }
-        if saved.has_centroids {
-            let id = store.ids().last().expect("store non-empty");
-            let got = store.get(id).shape();
-            let want = (saved.config.k_clusters, saved.config.hidden_dim);
-            if got != want {
-                return Err(PersistError::ShapeMismatch {
-                    name: store.name(id).to_string(),
-                    saved: got,
-                    expected: want,
-                });
-            }
-        }
-        if let Some(name) = store.first_non_finite_param() {
-            return Err(PersistError::NonFiniteParam(name.to_string()));
-        }
-        if let Some(st) = &saved.training {
-            if st.rng.len() != 4 {
-                return Err(PersistError::BadRngState(st.rng.len()));
-            }
-        }
-
-        let centroids =
-            saved.has_centroids.then(|| store.ids().last().expect("store non-empty"));
+        let parts = load_parts(path.as_ref())?;
         Ok(E2dtc {
-            rng: match &saved.training {
+            rng: match &parts.training {
                 // `fit` re-restores from the cursor; seeding here keeps
                 // inference on a freshly-loaded checkpoint deterministic.
                 Some(st) => StdRng::restore(rng_state_from(&st.rng)),
-                None => StdRng::seed_from_u64(saved.config.seed ^ 0x6c6f6164),
+                None => StdRng::seed_from_u64(parts.cfg.seed ^ 0x6c6f6164),
             },
-            pending: saved.training,
+            pending: parts.training,
             recorder: traj_obs::global(),
-            cfg: saved.config,
-            grid: saved.grid,
-            vocab: saved.vocab,
-            weights: saved.weights,
-            store,
-            model,
-            centroids,
-            opt,
+            cfg: parts.cfg,
+            grid: parts.grid,
+            vocab: parts.vocab,
+            weights: parts.weights,
+            store: parts.store,
+            model: parts.model,
+            centroids: parts.centroids,
+            opt: parts.opt,
             sequences: Vec::new(),
             #[cfg(feature = "fault-injection")]
             fault: None,
@@ -628,12 +680,12 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip_preserves_inference() {
-        let (mut model, dataset) = trained_model();
+        let (model, dataset) = trained_model();
         let dir = test_dir("roundtrip");
         let path = dir.join("model.json");
         model.save(&path).expect("save");
 
-        let mut loaded = E2dtc::load(&path).expect("load");
+        let loaded = E2dtc::load(&path).expect("load");
         let orig_emb = model.embed_dataset(&dataset);
         let loaded_emb = loaded.embed_dataset(&dataset);
         assert_eq!(orig_emb, loaded_emb, "embeddings diverge after reload");
@@ -901,12 +953,12 @@ mod tests {
 
     #[test]
     fn v1_checkpoint_loads_and_matches_fused_model() {
-        let (mut model, dataset) = trained_model();
+        let (model, dataset) = trained_model();
         let dir = test_dir("v1");
         let path = dir.join("model_v1.json");
         write_v1_file(&model, &path, |s| s);
 
-        let mut migrated = E2dtc::load(&path).expect("v1 checkpoint must load");
+        let migrated = E2dtc::load(&path).expect("v1 checkpoint must load");
         assert!(migrated.centroids_param().is_some());
 
         // The fused parameterization is mathematically identical; only

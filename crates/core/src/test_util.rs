@@ -1,0 +1,13 @@
+//! Shared fixtures for the crate's unit tests.
+
+use traj_data::{GeneratedCity, SynthSpec};
+
+/// A small, outlier-free synthetic city with `n` trajectories in `k`
+/// ground-truth clusters (seed 99) — the standard unit-test workload.
+pub(crate) fn tiny_city(n: usize, k: usize) -> GeneratedCity {
+    let mut spec = SynthSpec::hangzhou_like(n, 99);
+    spec.num_clusters = k;
+    spec.len_range = (8, 16);
+    spec.outlier_fraction = 0.0;
+    spec.generate()
+}

@@ -1,0 +1,116 @@
+//! Bit-parity between the training-path (tape) forward and the tape-free
+//! frozen forward — the contract that lets inference skip autograd
+//! entirely.
+//!
+//! Three paths must agree to the last bit for every trajectory:
+//!
+//! 1. `E2dtc::embed_dataset_training` — tape-based, RNG-consuming (the
+//!    forward `fit` runs every epoch);
+//! 2. `E2dtc::embed_dataset` — tape-free `&self` path;
+//! 3. `FrozenEncoder::embed_dataset` — the same path through a frozen
+//!    snapshot, including one round-tripped through a v3 checkpoint.
+//!
+//! Exactness holds because the eval kernels mirror the tape ops'
+//! float-operation order exactly (see `traj_nn::infer`); any drift is a
+//! kernel bug, not tolerance noise, so every comparison is `to_bits`.
+
+use e2dtc::{E2dtc, E2dtcConfig, FrozenEncoder};
+use traj_data::SynthSpec;
+
+fn tiny_city(n: usize, k: usize) -> traj_data::GeneratedCity {
+    let mut spec = SynthSpec::hangzhou_like(n, 99);
+    spec.num_clusters = k;
+    spec.len_range = (8, 16);
+    spec.outlier_fraction = 0.0;
+    spec.generate()
+}
+
+fn assert_bit_identical(a: &traj_nn::Tensor, b: &traj_nn::Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: scalar {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn frozen_forward_is_bit_identical_to_tape_forward() {
+    let city = tiny_city(30, 3);
+    let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+    // A couple of pre-training epochs so the weights are not the init.
+    let _ = model.pretrain(&city.dataset, 2);
+
+    let tape = model.embed_dataset_training(&city.dataset);
+    let tape_free = model.embed_dataset(&city.dataset);
+    assert_bit_identical(&tape, &tape_free, "tape vs E2dtc::embed_dataset");
+
+    let frozen = model.freeze();
+    let frozen_emb = frozen.embed_dataset(&city.dataset);
+    assert_bit_identical(&tape, &frozen_emb, "tape vs FrozenEncoder");
+}
+
+#[test]
+fn parity_survives_attention_configs() {
+    // The attention branch exercises a separate eval mirror; pin it too.
+    let city = tiny_city(20, 2);
+    let mut cfg = E2dtcConfig::tiny(2);
+    cfg.attention = true;
+    let mut model = E2dtc::new(&city.dataset, cfg);
+    let tape = model.embed_dataset_training(&city.dataset);
+    let frozen = model.freeze().embed_dataset(&city.dataset);
+    assert_bit_identical(&tape, &frozen, "attention config");
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_frozen_forward_bitwise() {
+    let city = tiny_city(25, 3);
+    let mut model = E2dtc::new(&city.dataset, E2dtcConfig::tiny(3));
+    let emb = model.embed_dataset(&city.dataset);
+    model.init_centroids(&emb);
+    let direct = model.freeze();
+
+    let dir = std::env::temp_dir().join("e2dtc_frozen_parity");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("model.json");
+    model.save(&path).expect("save");
+    let loaded = FrozenEncoder::from_checkpoint(&path).expect("from_checkpoint");
+
+    assert_bit_identical(
+        &direct.embed_dataset(&city.dataset),
+        &loaded.embed_dataset(&city.dataset),
+        "freeze() vs from_checkpoint()",
+    );
+    let (a, b) = (
+        direct.centroids().expect("centroids"),
+        loaded.centroids().expect("centroids"),
+    );
+    assert_bit_identical(a, b, "centroids");
+
+    // And both agree with the assignments of the mutable model.
+    let q = model.soft_assignment(&city.dataset);
+    assert_bit_identical(&q, &loaded.soft_assign(&emb), "soft assignment");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn frozen_result_is_independent_of_batch_size() {
+    // Rows are computed batch-wise but must not depend on batch
+    // composition: matmul visits k in a fixed order per row and every
+    // other op is row-local.
+    let city = tiny_city(17, 2);
+    let mut cfg1 = E2dtcConfig::tiny(2);
+    cfg1.batch_size = 1;
+    let mut cfg2 = E2dtcConfig::tiny(2);
+    cfg2.batch_size = 17;
+    // Same seed → identical weights; only batching differs.
+    let m1 = E2dtc::new(&city.dataset, cfg1);
+    let m2 = E2dtc::new(&city.dataset, cfg2);
+    assert_bit_identical(
+        &m1.embed_dataset(&city.dataset),
+        &m2.embed_dataset(&city.dataset),
+        "batch size 1 vs 17",
+    );
+}

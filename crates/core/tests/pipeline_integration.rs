@@ -242,7 +242,7 @@ fn attention_variant_trains_and_persists() {
     std::fs::create_dir_all(&dir).expect("mkdir");
     let path = dir.join("attn_model.json");
     model.save(&path).expect("save");
-    let mut loaded = e2dtc::E2dtc::load(&path).expect("load");
+    let loaded = e2dtc::E2dtc::load(&path).expect("load");
     assert_eq!(model.assign(&data.dataset), loaded.assign(&data.dataset));
     std::fs::remove_file(path).ok();
 }

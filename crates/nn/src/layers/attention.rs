@@ -36,6 +36,11 @@ impl DotAttention {
         self.hidden
     }
 
+    /// The `W_c` output projection.
+    pub fn combine(&self) -> &super::Linear {
+        &self.combine
+    }
+
     /// One attention step: attends `query` (`(batch, hidden)`) over the
     /// encoder outputs (`T` tensors of `(batch, hidden)`), returning the
     /// attentional hidden state `h~` of the same shape.

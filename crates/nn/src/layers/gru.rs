@@ -189,6 +189,11 @@ impl Gru {
         self.cells.len()
     }
 
+    /// The per-layer cells, bottom (input-consuming) layer first.
+    pub fn cells(&self) -> &[GruCell] {
+        &self.cells
+    }
+
     /// Hidden dimensionality.
     pub fn hidden_dim(&self) -> usize {
         self.cells[0].hidden_dim()

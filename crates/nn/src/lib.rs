@@ -45,6 +45,7 @@
 
 pub mod gradcheck;
 pub mod guard;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -54,6 +55,7 @@ pub mod telemetry;
 pub mod tensor;
 
 pub use guard::{GuardVerdict, NonFiniteGuard};
+pub use infer::Scratch;
 pub use params::{ParamId, ParamStore};
 pub use tape::{student_t_assignment, target_distribution, Tape, Var};
 pub use tensor::Tensor;

@@ -7,10 +7,13 @@
 #            telemetry no-op-overhead guard + golden-run regression)
 #   fault  — fault-injection integration tests (NaN poisoning, torn/killed
 #            checkpoint saves) behind the e2dtc `fault-injection` feature
-#   bench  — bench_nn and bench_dist in --test mode: every benchmark body
-#            runs once so the harnesses, kernels (fused GRU, projected
-#            distance, knn pruning), and the references stay compilable
-#            and panic-free without paying for a full measurement run
+#   bench  — bench_nn, bench_dist and bench_query in --test mode: every
+#            benchmark body runs once so the harnesses, kernels (fused
+#            GRU, projected distance, knn pruning, frozen query engine),
+#            and the references stay compilable and panic-free without
+#            paying for a full measurement run
+#   smoke  — the CLI serve path end-to-end on a tiny synthetic city:
+#            generate → train → embed (frozen encoder from checkpoint)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +24,15 @@ cargo test -q
 cargo test -q -p e2dtc --features fault-injection --test fault_injection
 cargo bench -p e2dtc-bench --bench bench_nn -- --test
 cargo bench -p e2dtc-bench --bench bench_dist -- --test
+cargo bench -p e2dtc-bench --bench bench_query -- --test
+
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/e2dtc generate --kind hangzhou --n 40 --out "$smoke_dir/data.json" --quiet
+./target/release/e2dtc train --data "$smoke_dir/data.json" --out "$smoke_dir/model.json" \
+    --preset fast --quiet
+./target/release/e2dtc embed --model "$smoke_dir/model.json" --data "$smoke_dir/data.json" \
+    --out "$smoke_dir/emb.json" --quiet
+grep -q '"embeddings"' "$smoke_dir/emb.json"
 
 echo "tier1: OK"
